@@ -1,0 +1,163 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace dnnspmv::bench {
+
+BenchConfig parse_common(Cli& cli) {
+  BenchConfig cfg;
+  cfg.n = cli.get_int("n", cfg.n);
+  cfg.min_dim = static_cast<index_t>(cli.get_int("min-dim", cfg.min_dim));
+  cfg.max_dim = static_cast<index_t>(cli.get_int("max-dim", cfg.max_dim));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.size = cli.get_int("size", cfg.size);
+  cfg.bins = cli.get_int("bins", cfg.bins);
+  cfg.epochs = static_cast<int>(cli.get_int("epochs", cfg.epochs));
+  cfg.folds = static_cast<int>(cli.get_int("folds", cfg.folds));
+  cfg.verbose = cli.get_bool("verbose", false);
+  return cfg;
+}
+
+LabeledCorpus make_labeled_corpus(const BenchConfig& cfg,
+                                  const Platform& platform) {
+  CorpusSpec spec;
+  spec.count = cfg.n;
+  spec.min_dim = cfg.min_dim;
+  spec.max_dim = cfg.max_dim;
+  spec.seed = cfg.seed;
+  LabeledCorpus lc;
+  lc.corpus = build_corpus(spec);
+  lc.labeled = collect_labels(lc.corpus, platform);
+  return lc;
+}
+
+namespace {
+
+TrainConfig train_config(const BenchConfig& cfg) {
+  TrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.batch = 32;
+  tc.lr = 2e-3;
+  tc.seed = cfg.seed + 1;
+  tc.verbose = cfg.verbose;
+  return tc;
+}
+
+CnnSpec cnn_spec(const Dataset& data, RepMode mode, bool late_merge,
+                 const BenchConfig& cfg) {
+  CnnSpec spec;
+  const int nsources = rep_num_sources(mode);
+  for (int s = 0; s < nsources; ++s) {
+    if (mode == RepMode::kHistogram)
+      spec.input_hw.push_back({cfg.size, cfg.bins});
+    else
+      spec.input_hw.push_back({cfg.size, cfg.size});
+  }
+  spec.num_classes = static_cast<int>(data.candidates.size());
+  spec.late_merge = late_merge;
+  spec.seed = cfg.seed + 7;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> run_cnn(const Dataset& train, const Dataset& test,
+                                  RepMode mode, bool late_merge,
+                                  const BenchConfig& cfg,
+                                  TrainHistory* history) {
+  const CnnSpec spec = cnn_spec(train, mode, late_merge, cfg);
+  MergeNet net = build_cnn(spec);
+  const TrainHistory h =
+      train_cnn(net, train, num_net_inputs(spec), train_config(cfg));
+  if (history) *history = h;
+  return predict_cnn(net, test, num_net_inputs(spec));
+}
+
+std::vector<std::int32_t> run_dt(const Dataset& train, const Dataset& test) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::int32_t> y;
+  for (const Sample& s : train.samples) {
+    x.push_back(s.features);
+    y.push_back(s.label);
+  }
+  DecisionTree tree;
+  DTreeConfig cfg;
+  cfg.num_classes = static_cast<int>(train.candidates.size());
+  tree.fit(x, y, cfg);
+  std::vector<std::int32_t> pred;
+  pred.reserve(test.samples.size());
+  for (const Sample& s : test.samples) pred.push_back(tree.predict(s.features));
+  return pred;
+}
+
+namespace {
+
+std::vector<std::int32_t> labels_of(const Dataset& ds) {
+  std::vector<std::int32_t> y;
+  y.reserve(ds.samples.size());
+  for (const Sample& s : ds.samples) y.push_back(s.label);
+  return y;
+}
+
+template <typename RunFold>
+CvResult crossval(const Dataset& ds, int folds, std::uint64_t seed,
+                  RunFold&& run_fold) {
+  const auto y = labels_of(ds);
+  CvResult out;
+  for (const FoldSplit& split : stratified_kfold(y, folds, seed)) {
+    const Dataset train = ds.subset(split.train);
+    const Dataset test = ds.subset(split.test);
+    const auto pred = run_fold(train, test);
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      out.index.push_back(split.test[i]);
+      out.truth.push_back(y[static_cast<std::size_t>(split.test[i])]);
+      out.pred.push_back(pred[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CvResult crossval_cnn(const Dataset& ds, RepMode mode, bool late_merge,
+                      const BenchConfig& cfg) {
+  return crossval(ds, cfg.folds, cfg.seed + 13,
+                  [&](const Dataset& train, const Dataset& test) {
+                    return run_cnn(train, test, mode, late_merge, cfg);
+                  });
+}
+
+CvResult crossval_dt(const Dataset& ds, const BenchConfig& cfg) {
+  return crossval(ds, cfg.folds, cfg.seed + 13,
+                  [&](const Dataset& train, const Dataset& test) {
+                    return run_dt(train, test);
+                  });
+}
+
+void print_quality_table(const std::string& title,
+                         const std::vector<Format>& formats,
+                         const EvalResult& result) {
+  std::printf("  %s\n", title.c_str());
+  std::printf("    %-6s %12s %8s %10s\n", "Format", "GroundTruth", "Recall",
+              "Precision");
+  for (std::size_t f = 0; f < formats.size(); ++f) {
+    const ClassMetrics& m = result.per_class[f];
+    if (m.ground_truth == 0) {
+      std::printf("    %-6s %12lld %8s %10s\n",
+                  format_name(formats[f]).c_str(),
+                  static_cast<long long>(m.ground_truth), "-", "-");
+    } else {
+      std::printf("    %-6s %12lld %8.2f %10.2f\n",
+                  format_name(formats[f]).c_str(),
+                  static_cast<long long>(m.ground_truth), m.recall,
+                  m.precision);
+    }
+  }
+  std::printf("    Overall accuracy: %.3f\n", result.accuracy);
+}
+
+void print_vs_paper(const std::string& metric, double paper, double ours) {
+  std::printf("  %-52s paper=%.3f ours=%.3f\n", metric.c_str(), paper, ours);
+}
+
+}  // namespace dnnspmv::bench

@@ -1,0 +1,141 @@
+// Figure 8 reproduction: SpMV speedup of CNN-selected formats over
+// DT-selected formats, on the matrices where the two models disagree.
+//
+// Paper: CNN helps on 86% of the disagreement matrices, 1.73x average and
+// 5.2x max speedup. Also reported in §7.3: CNN over always-CSR gives 2.23x
+// average / 14.9x max on CPU.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dnnspmv;
+using namespace dnnspmv::bench;
+
+namespace {
+
+double time_of(const Sample& s, std::int32_t fmt_idx) {
+  return s.format_times[static_cast<std::size_t>(fmt_idx)];
+}
+
+/// Speedup of choosing `a` over choosing `b` for sample s (time_b/time_a).
+double speedup(const Sample& s, std::int32_t a, std::int32_t b) {
+  const double ta = time_of(s, a);
+  const double tb = time_of(s, b);
+  if (!std::isfinite(ta)) return 0.0;  // picked an infeasible format
+  if (!std::isfinite(tb)) return 10.0; // other model picked infeasible
+  return tb / ta;
+}
+
+void print_distribution(const std::vector<double>& sp) {
+  // Figure 8 style: bucket the speedups and print percentage bars.
+  const double edges[] = {0.4, 0.8, 1.0, 1.3, 1.7, 2.1, 2.5,
+                          2.9, 3.3, 3.7, 4.1, 4.5, 4.9, 5.3, 5.7};
+  const int nb = static_cast<int>(std::size(edges));
+  std::vector<int> counts(static_cast<std::size_t>(nb + 1), 0);
+  for (double v : sp) {
+    int b = 0;
+    while (b < nb && v >= edges[b]) ++b;
+    ++counts[static_cast<std::size_t>(b)];
+  }
+  std::printf("    %-12s %8s\n", "speedup", "share");
+  for (int b = 0; b <= nb; ++b) {
+    const double lo = b == 0 ? 0.0 : edges[b - 1];
+    const double pct = sp.empty()
+                           ? 0.0
+                           : 100.0 * counts[static_cast<std::size_t>(b)] /
+                                 static_cast<double>(sp.size());
+    char label[32];
+    if (b == nb)
+      std::snprintf(label, sizeof(label), ">=%.1f", edges[nb - 1]);
+    else
+      std::snprintf(label, sizeof(label), "%.1f-%.1f", lo, edges[b]);
+    std::printf("    %-12s %7.1f%% ", label, pct);
+    for (int i = 0; i < static_cast<int>(pct / 2.0); ++i) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+struct SpeedupSummary {
+  double mean = 0.0, max = 0.0, frac_ge_1 = 0.0;
+};
+
+SpeedupSummary summarize(const std::vector<double>& sp) {
+  SpeedupSummary s;
+  if (sp.empty()) return s;
+  double sum = 0.0;
+  int ge1 = 0;
+  for (double v : sp) {
+    sum += v;
+    s.max = std::max(s.max, v);
+    if (v >= 1.0) ++ge1;
+  }
+  s.mean = sum / static_cast<double>(sp.size());
+  s.frac_ge_1 = static_cast<double>(ge1) / static_cast<double>(sp.size());
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const BenchConfig cfg = parse_common(cli);
+  cli.check_unused();
+
+  std::printf("=== Figure 8: SpMV speedups, CNN-selected vs DT-selected ===\n");
+  std::printf("corpus n=%lld dims [%d, %d]\n\n",
+              static_cast<long long>(cfg.n), cfg.min_dim, cfg.max_dim);
+
+  const auto platform = make_analytic_cpu(intel_xeon_params());
+  const LabeledCorpus lc = make_labeled_corpus(cfg, *platform);
+  const auto& formats = platform->formats();
+  const Dataset ds = build_dataset(lc.labeled, formats, RepMode::kHistogram,
+                                   cfg.size, cfg.bins);
+
+  const CvResult cnn = crossval_cnn(ds, RepMode::kHistogram, true, cfg);
+  const CvResult dt = crossval_dt(ds, cfg);
+
+  // Align by sample index (same folds, same order — both use seed+13).
+  std::vector<std::int32_t> dt_pred_by_index(ds.size(), 0);
+  for (std::size_t i = 0; i < dt.index.size(); ++i)
+    dt_pred_by_index[static_cast<std::size_t>(dt.index[i])] = dt.pred[i];
+
+  std::vector<double> sp_vs_dt, sp_vs_csr;
+  const auto csr_idx = static_cast<std::int32_t>(
+      std::find(formats.begin(), formats.end(), Format::kCsr) -
+      formats.begin());
+  for (std::size_t i = 0; i < cnn.index.size(); ++i) {
+    const Sample& s =
+        ds.samples[static_cast<std::size_t>(cnn.index[i])];
+    const std::int32_t dp =
+        dt_pred_by_index[static_cast<std::size_t>(cnn.index[i])];
+    if (cnn.pred[i] != dp) sp_vs_dt.push_back(speedup(s, cnn.pred[i], dp));
+    sp_vs_csr.push_back(speedup(s, cnn.pred[i], csr_idx));
+  }
+
+  std::printf("disagreement matrices: %zu of %zu\n\n", sp_vs_dt.size(),
+              cnn.index.size());
+  std::printf("  speedup distribution over disagreement set (Figure 8):\n");
+  print_distribution(sp_vs_dt);
+
+  const SpeedupSummary d = summarize(sp_vs_dt);
+  const SpeedupSummary c = summarize(sp_vs_csr);
+  std::printf("\n--- paper vs ours ---\n");
+  print_vs_paper("CNN-over-DT mean speedup (disagreements)", 1.73, d.mean);
+  print_vs_paper("CNN-over-DT max speedup", 5.2, d.max);
+  print_vs_paper("fraction of disagreements with speedup>=1", 0.86,
+                 d.frac_ge_1);
+  print_vs_paper("CNN-over-always-CSR mean speedup (all)", 2.23, c.mean);
+  print_vs_paper("CNN-over-always-CSR max speedup", 14.9, c.max);
+
+  // The always-CSR comparison is the robust half of the paper's claim: a
+  // trained selector rectifies default-format choices. The CNN-vs-DT half
+  // depends on the DT's accuracy, which our simulated labels inflate (see
+  // bench_table2's note and EXPERIMENTS.md).
+  const bool shape_holds = c.mean > 1.0 && d.mean > 0.7;
+  std::printf("\nshape check (selector beats always-CSR; CNN-vs-DT ratio "
+              "reported): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

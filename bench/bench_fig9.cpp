@@ -1,0 +1,128 @@
+// Figure 9 reproduction: cross-architecture model migration.
+//
+// A CNN+Histogram model trained on the Intel-like platform is migrated to
+// the AMD-like platform (whose labels differ for a sizeable fraction of the
+// corpus). For increasing amounts of target-platform retraining data we
+// compare: train-from-scratch, continuous evolvement (fine-tune all), and
+// top evolvement (frozen towers, retrain head). Paper: both transfer
+// methods dominate from-scratch at small retraining sizes; top evolvement
+// learns fastest, continuous wins slightly with abundant data.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dnnspmv;
+using namespace dnnspmv::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  cli.check_unused();
+
+  std::printf("=== Figure 9: migrating the CNN from Intel to AMD ===\n");
+  const MachineParams src_mp = intel_xeon_params();
+  const MachineParams dst_mp = amd_a8_params();
+  std::printf("source %s (%.0f GB/s, %d cores) -> target %s (%.1f GB/s, %d cores)\n",
+              src_mp.name.c_str(), src_mp.bandwidth_gbps, src_mp.cores,
+              dst_mp.name.c_str(), dst_mp.bandwidth_gbps, dst_mp.cores);
+
+  const auto intel = make_analytic_cpu(src_mp);
+  const auto amd = make_analytic_cpu(dst_mp);
+
+  CorpusSpec spec;
+  spec.count = cfg.n;
+  spec.min_dim = cfg.min_dim;
+  spec.max_dim = cfg.max_dim;
+  spec.seed = cfg.seed;
+  const auto corpus = build_corpus(spec);
+  const auto src_labeled = collect_labels(corpus, *intel);
+  const auto dst_labeled = collect_labels(corpus, *amd);
+
+  std::int64_t moved = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    if (src_labeled[i].label != dst_labeled[i].label) ++moved;
+  std::printf("labels that differ across machines: %lld / %lld (%.1f%%)\n\n",
+              static_cast<long long>(moved),
+              static_cast<long long>(corpus.size()),
+              100.0 * static_cast<double>(moved) /
+                  static_cast<double>(corpus.size()));
+
+  const auto& formats = intel->formats();
+  const Dataset src_ds = build_dataset(src_labeled, formats,
+                                       RepMode::kHistogram, cfg.size,
+                                       cfg.bins);
+  const Dataset dst_ds = build_dataset(dst_labeled, formats,
+                                       RepMode::kHistogram, cfg.size,
+                                       cfg.bins);
+
+  // Source model trained on the full Intel-labelled corpus.
+  SelectorOptions opts;
+  opts.mode = RepMode::kHistogram;
+  opts.size1 = cfg.size;
+  opts.size2 = cfg.bins;
+  opts.train.epochs = cfg.epochs;
+  opts.train.batch = 32;
+  opts.train.lr = 2e-3;
+  opts.train.seed = cfg.seed + 7;
+  FormatSelector source(opts);
+  source.fit(src_ds);
+
+  // Hold out a fixed target test set; sweep the retraining size over the
+  // remainder.
+  const auto folds = stratified_kfold(
+      [&] {
+        std::vector<std::int32_t> y;
+        for (const Sample& s : dst_ds.samples) y.push_back(s.label);
+        return y;
+      }(),
+      4, cfg.seed + 99);
+  const Dataset dst_test = dst_ds.subset(folds[0].test);
+  const std::vector<std::int32_t>& pool = folds[0].train;
+
+  TrainConfig retrain;
+  retrain.epochs = cfg.epochs;
+  retrain.batch = 16;
+  retrain.lr = 1.5e-3;
+  retrain.seed = cfg.seed + 23;
+
+  const MigrationMethod methods[] = {MigrationMethod::kFromScratch,
+                                     MigrationMethod::kContinuous,
+                                     MigrationMethod::kTopEvolve};
+
+  std::printf("  %-10s %14s %18s %12s\n", "retrain_n", "from-scratch",
+              "continuous", "top-evolve");
+
+  std::vector<std::int64_t> sizes;
+  const auto pool_n = static_cast<std::int64_t>(pool.size());
+  for (std::int64_t s = 0; s <= pool_n;
+       s += std::max<std::int64_t>(1, pool_n / 6))
+    sizes.push_back(s);
+
+  const std::int64_t small = sizes.size() > 1 ? sizes[1] : 0;
+  double best_top_small = 0.0, best_scratch_small = 0.0;
+  for (std::int64_t n : sizes) {
+    std::vector<std::int32_t> subset(pool.begin(), pool.begin() + n);
+    const Dataset target_train = dst_ds.subset(subset);
+    std::printf("  %-10lld", static_cast<long long>(n));
+    for (MigrationMethod m : methods) {
+      FormatSelector migrated = source.migrate(m, target_train, retrain);
+      const double acc = accuracy_cnn(migrated.net(), dst_test, 2);
+      std::printf(" %14.3f", acc);
+      if (n == small) {
+        if (m == MigrationMethod::kTopEvolve) best_top_small = acc;
+        if (m == MigrationMethod::kFromScratch) best_scratch_small = acc;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- paper vs ours ---\n");
+  std::printf("  paper: transfer methods reach ~0.9 accuracy with ~1/4 of\n"
+              "  the data from-scratch needs; at the smallest retrain size\n"
+              "  ours: top-evolve=%.3f vs from-scratch=%.3f\n",
+              best_top_small, best_scratch_small);
+  const bool shape_holds = best_top_small >= best_scratch_small;
+  std::printf("\nshape check (warm start >= scratch at small sizes): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

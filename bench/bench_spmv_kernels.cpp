@@ -1,0 +1,75 @@
+// Kernel-level microbenchmarks (google-benchmark): per-format SpMV
+// throughput across the corpus's structural classes — the substrate behind
+// Figure 1 and all label collection.
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.hpp"
+#include "sparse/spmv.hpp"
+
+namespace dnnspmv {
+namespace {
+
+Csr class_matrix(int gen_id, index_t n) {
+  Rng rng(static_cast<std::uint64_t>(gen_id) * 1000 + n);
+  switch (gen_id) {
+    case 0: return gen_banded(n, n, 4, 0.9, rng);
+    case 1: return gen_uniform_rows(n, n, 12, 0, rng);
+    case 2: return gen_powerlaw(n, n, 12.0, 1.5, rng);
+    case 3: return gen_block(n, n, 3.0, 1.0, rng);
+    default: return gen_hypersparse(n, n, n / 4, rng);
+  }
+}
+
+const char* class_name(int gen_id) {
+  switch (gen_id) {
+    case 0: return "banded";
+    case 1: return "uniform";
+    case 2: return "powerlaw";
+    case 3: return "block";
+    default: return "hypersparse";
+  }
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const int gen_id = static_cast<int>(state.range(0));
+  const auto fmt = static_cast<Format>(state.range(1));
+  const auto n = static_cast<index_t>(state.range(2));
+  const Csr a = class_matrix(gen_id, n);
+  const auto m = AnyFormatMatrix::convert(a, fmt);
+  if (!m) {
+    state.SkipWithError("format refused this matrix (padding blow-up)");
+    return;
+  }
+  std::vector<double> x(static_cast<std::size_t>(a.cols), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+  for (auto _ : state) {
+    m->spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+  state.SetLabel(std::string(class_name(gen_id)) + "/" + format_name(fmt));
+}
+
+void RegisterAll() {
+  for (int gen_id = 0; gen_id < 5; ++gen_id) {
+    for (std::int32_t f = 0; f < kNumFormats; ++f) {
+      auto* b = benchmark::RegisterBenchmark("BM_Spmv", BM_Spmv);
+      b->Args({gen_id, f, 2048});
+    }
+  }
+  // CSR scaling curve.
+  for (index_t n : {256, 1024, 4096}) {
+    auto* b = benchmark::RegisterBenchmark("BM_Spmv", BM_Spmv);
+    b->Args({2, static_cast<std::int32_t>(Format::kCsr), n});
+  }
+}
+
+}  // namespace
+}  // namespace dnnspmv
+
+int main(int argc, char** argv) {
+  dnnspmv::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Corpus explorer: prints, per generator class, the structural statistics
+// and which format wins on each platform — a quick view into the dataset
+// the selector learns from, and a sanity check of the cost models' class
+// preferences (cf. paper Tables 2–3 "Ground Truth" columns).
+#include <cstdio>
+#include <map>
+
+#include "common/cli.hpp"
+#include "core/selector.hpp"
+#include "io/mmio.hpp"
+
+using namespace dnnspmv;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 600);
+  const std::string mtx = cli.get_string("mtx", "");
+  cli.check_unused();
+
+  // Optional: inspect a user-provided MatrixMarket file instead.
+  if (!mtx.empty()) {
+    const Csr a = read_matrix_market_file(mtx);
+    const MatrixStats s = compute_stats(a);
+    std::printf("%s: %lldx%lld nnz=%lld density=%.2e\n", mtx.c_str(),
+                static_cast<long long>(s.rows),
+                static_cast<long long>(s.cols), static_cast<long long>(s.nnz),
+                s.density);
+    std::printf("row nnz mean=%.1f sd=%.1f max=%lld; ndiags=%lld "
+                "dia_fill=%.2f ell_fill=%.2f bsr_fill=%.2f\n",
+                s.row_nnz_mean, s.row_nnz_sd,
+                static_cast<long long>(s.row_nnz_max),
+                static_cast<long long>(s.ndiags), s.dia_fill, s.ell_fill,
+                s.bsr_fill);
+    const auto host = make_measured(cpu_formats(), 5);
+    const auto times = host->spmv_times(a);
+    std::printf("host-measured SpMV times:\n");
+    for (std::size_t f = 0; f < times.size(); ++f)
+      std::printf("  %-5s %.3g us\n",
+                  format_name(cpu_formats()[f]).c_str(), times[f] * 1e6);
+    return 0;
+  }
+
+  CorpusSpec spec;
+  spec.count = n;
+  spec.min_dim = 128;
+  spec.max_dim = 1024;
+  const auto corpus = build_corpus(spec);
+  const auto intel = make_analytic_cpu(intel_xeon_params());
+  const auto gpu = make_analytic_gpu(titan_x_params());
+  const auto cpu_labels = collect_labels(corpus, *intel);
+  const auto gpu_labels = collect_labels(corpus, *gpu);
+
+  struct ClassRow {
+    std::int64_t count = 0;
+    double nnz = 0.0, density = 0.0;
+    std::map<Format, int> cpu_wins, gpu_wins;
+  };
+  std::map<GenClass, ClassRow> rows;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    ClassRow& r = rows[corpus[i].gen_class];
+    const MatrixStats s = compute_stats(corpus[i].matrix);
+    ++r.count;
+    r.nnz += static_cast<double>(s.nnz);
+    r.density += s.density;
+    ++r.cpu_wins[intel->formats()[static_cast<std::size_t>(
+        cpu_labels[i].label)]];
+    ++r.gpu_wins[gpu->formats()[static_cast<std::size_t>(
+        gpu_labels[i].label)]];
+  }
+
+  std::printf("%-14s %6s %10s %10s  %-18s %-18s\n", "class", "count",
+              "avg nnz", "density", "CPU winner", "GPU winner");
+  for (const auto& [cls, r] : rows) {
+    auto top = [](const std::map<Format, int>& wins) {
+      Format best = Format::kCsr;
+      int c = -1;
+      for (const auto& [f, k] : wins)
+        if (k > c) {
+          c = k;
+          best = f;
+        }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s (%d)", format_name(best).c_str(),
+                    c);
+      return std::string(buf);
+    };
+    std::printf("%-14s %6lld %10.0f %10.2e  %-18s %-18s\n",
+                gen_class_name(cls).c_str(), static_cast<long long>(r.count),
+                r.nnz / static_cast<double>(r.count),
+                r.density / static_cast<double>(r.count),
+                top(r.cpu_wins).c_str(), top(r.gpu_wins).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Cross-architecture migration walkthrough (paper §6).
+//
+// Train a selector on one machine's labels, then port it to a different
+// machine with "top evolvement": freeze the convolutional towers, collect a
+// *small* number of labels on the new machine, retrain only the head.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/selector.hpp"
+
+using namespace dnnspmv;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 500);
+  const std::int64_t retrain_n = cli.get_int("retrain-n", 80);
+  const int epochs = static_cast<int>(cli.get_int("epochs", 12));
+  cli.check_unused();
+
+  CorpusSpec spec;
+  spec.count = n;
+  spec.min_dim = 128;
+  spec.max_dim = 1024;
+  const auto corpus = build_corpus(spec);
+
+  const auto intel = make_analytic_cpu(intel_xeon_params());
+  const auto amd = make_analytic_cpu(amd_a8_params());
+
+  // Source machine: full label collection + training.
+  std::printf("training on %s...\n", intel->name().c_str());
+  const auto src_labeled = collect_labels(corpus, *intel);
+  SelectorOptions opts;
+  opts.mode = RepMode::kHistogram;
+  opts.train.epochs = epochs;
+  FormatSelector source(opts);
+  source.fit(src_labeled, intel->formats());
+
+  // Target machine: labels differ — show how much.
+  const auto dst_labeled = collect_labels(corpus, *amd);
+  std::int64_t moved = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    if (src_labeled[i].label != dst_labeled[i].label) ++moved;
+  std::printf("%lld of %lld labels differ on %s\n",
+              static_cast<long long>(moved), static_cast<long long>(n),
+              amd->name().c_str());
+
+  const Dataset dst_ds =
+      build_dataset(dst_labeled, amd->formats(), opts.mode, opts.size1,
+                    opts.size2);
+
+  // Accuracy of the un-migrated source model on the target machine.
+  auto accuracy_on = [&](FormatSelector& sel, const Dataset& ds) {
+    std::int64_t ok = 0;
+    for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+      const auto pred =
+          predict_cnn(sel.net(), ds.subset({static_cast<std::int32_t>(i)}),
+                      2, 1);
+      if (pred[0] == ds.samples[i].label) ++ok;
+    }
+    return static_cast<double>(ok) / static_cast<double>(ds.size());
+  };
+  std::printf("source model on target labels (no retraining): %.3f\n",
+              accuracy_on(source, dst_ds));
+
+  // Migrate with a small retraining set collected "on the new machine".
+  std::vector<std::int32_t> retrain_idx;
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(retrain_n, n); ++i)
+    retrain_idx.push_back(static_cast<std::int32_t>(i));
+  const Dataset target_train = dst_ds.subset(retrain_idx);
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch = 16;
+  FormatSelector migrated =
+      source.migrate(MigrationMethod::kTopEvolve, target_train, cfg);
+  std::printf("after top evolvement on %lld target labels: %.3f\n",
+              static_cast<long long>(retrain_idx.size()),
+              accuracy_on(migrated, dst_ds));
+
+  // For contrast: training from scratch on the same small set.
+  FormatSelector scratch =
+      source.migrate(MigrationMethod::kFromScratch, target_train, cfg);
+  std::printf("from-scratch on the same %lld labels:     %.3f\n",
+              static_cast<long long>(retrain_idx.size()),
+              accuracy_on(scratch, dst_ds));
+  return 0;
+}

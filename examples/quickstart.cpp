@@ -1,0 +1,72 @@
+// Quickstart: train a format selector on a small labelled corpus, predict
+// the best SpMV format for a new matrix, and run SpMV in that format.
+//
+//   ./quickstart [--n 300] [--epochs 10]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/selector.hpp"
+#include "sparse/spmv.hpp"
+
+using namespace dnnspmv;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 300);
+  const int epochs = static_cast<int>(cli.get_int("epochs", 10));
+  cli.check_unused();
+
+  // 1. A corpus of training matrices and a platform that labels them by
+  //    timing SpMV per format (here: the Intel-Xeon-like cost model; use
+  //    make_measured() to label with real kernel timings on this host).
+  std::printf("building corpus of %lld matrices...\n",
+              static_cast<long long>(n));
+  CorpusSpec spec;
+  spec.count = n;
+  spec.min_dim = 128;
+  spec.max_dim = 512;
+  const auto corpus = build_corpus(spec);
+  const auto platform = make_analytic_cpu(intel_xeon_params());
+  const auto labeled = collect_labels(corpus, *platform);
+
+  // 2. Train the CNN selector (histogram representation, late merging).
+  SelectorOptions opts;
+  opts.mode = RepMode::kHistogram;
+  opts.size1 = 32;
+  opts.size2 = 16;
+  opts.train.epochs = epochs;
+  FormatSelector selector(opts);
+  std::printf("training CNN selector (%d epochs)...\n", epochs);
+  selector.fit(labeled, platform->formats());
+
+  // 3. Predict the format for a new matrix the selector never saw.
+  Rng rng(2024);
+  const Csr tri = gen_banded(400, 400, 1, 1.0, rng);       // tridiagonal
+  const Csr scattered = gen_powerlaw(400, 400, 8.0, 1.6, rng);
+  for (const auto& [name, m] :
+       {std::pair<const char*, const Csr*>{"tridiagonal", &tri},
+        std::pair<const char*, const Csr*>{"power-law", &scattered}}) {
+    const Format f = selector.predict(*m);
+    std::printf("predicted format for the %s matrix: %s\n", name,
+                format_name(f).c_str());
+
+    // 4. Convert and run SpMV with the chosen format.
+    const auto stored = AnyFormatMatrix::convert(*m, f);
+    if (!stored) {
+      std::printf("  (format refused the matrix; falling back to CSR)\n");
+      continue;
+    }
+    std::vector<double> x(static_cast<std::size_t>(m->cols), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m->rows), 0.0);
+    stored->spmv(x, y);
+    std::printf("  SpMV done; y[0]=%.3f, storage=%lld bytes (CSR would be "
+                "%lld)\n",
+                y[0], static_cast<long long>(stored->bytes()),
+                static_cast<long long>(m->bytes()));
+  }
+
+  // 5. Persist the model for later use.
+  selector.save("selector_model.bin");
+  std::printf("model saved to selector_model.bin\n");
+  return 0;
+}

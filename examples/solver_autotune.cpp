@@ -1,0 +1,119 @@
+// Iterative-solver scenario (the paper's motivating workload, §1):
+// a conjugate-gradient solve spends thousands of iterations in SpMV, so
+// picking the right storage format up front pays for the selection many
+// times over (§7.6).
+//
+// We solve A x = b with CG for an SPD banded system twice — once with the
+// default CSR format, once with the selector's pick — and compare the
+// end-to-end SpMV time.
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/selector.hpp"
+#include "sparse/spmv.hpp"
+
+using namespace dnnspmv;
+
+namespace {
+
+/// SPD penta-diagonal system (2-D Poisson-like stencil).
+Csr make_spd(index_t n) {
+  std::vector<Triplet> ts;
+  for (index_t i = 0; i < n; ++i) {
+    ts.push_back({i, i, 4.0});
+    if (i + 1 < n) {
+      ts.push_back({i, i + 1, -1.0});
+      ts.push_back({i + 1, i, -1.0});
+    }
+    if (i + 16 < n) {
+      ts.push_back({i, i + 16, -1.0});
+      ts.push_back({i + 16, i, -1.0});
+    }
+  }
+  return csr_from_triplets(n, n, std::move(ts));
+}
+
+/// CG on an AnyFormatMatrix; returns (iterations, seconds in SpMV).
+std::pair<int, double> cg_solve(const AnyFormatMatrix& a, index_t n,
+                                int max_iters, double tol) {
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> r = b, p = b, ap(static_cast<std::size_t>(n));
+  double rr = 0.0;
+  for (double v : r) rr += v * v;
+  double spmv_seconds = 0.0;
+  int it = 0;
+  for (; it < max_iters && std::sqrt(rr) > tol; ++it) {
+    Timer t;
+    a.spmv(p, ap);
+    spmv_seconds += t.seconds();
+    double pap = 0.0;
+    for (index_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    const double alpha = rr / pap;
+    double rr_new = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+      rr_new += r[i] * r[i];
+    }
+    const double beta = rr_new / rr;
+    for (index_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+  }
+  return {it, spmv_seconds};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto n = static_cast<index_t>(cli.get_int("n", 20000));
+  const int train_n = static_cast<int>(cli.get_int("train-n", 250));
+  const int epochs = static_cast<int>(cli.get_int("epochs", 10));
+  cli.check_unused();
+
+  // Train a selector against the host itself — labels are real kernel
+  // timings, so the prediction targets *this* machine.
+  std::printf("training selector on host-measured labels (%d matrices)...\n",
+              train_n);
+  CorpusSpec spec;
+  spec.count = train_n;
+  spec.min_dim = 128;
+  spec.max_dim = 1024;
+  const auto corpus = build_corpus(spec);
+  const auto host = make_measured(cpu_formats(), 5);
+  const auto labeled = collect_labels(corpus, *host);
+  SelectorOptions opts;
+  opts.mode = RepMode::kHistogram;
+  opts.train.epochs = epochs;
+  FormatSelector selector(opts);
+  selector.fit(labeled, host->formats());
+
+  const Csr a = make_spd(n);
+  const Format pick = selector.predict(a);
+  std::printf("system: %d x %d, nnz=%lld; selector picked %s\n", n, n,
+              static_cast<long long>(a.nnz()), format_name(pick).c_str());
+
+  const auto csr_m = AnyFormatMatrix::convert(a, Format::kCsr);
+  const auto [it_csr, t_csr] = cg_solve(*csr_m, n, 500, 1e-8);
+  if (pick == Format::kCsr) {
+    std::printf("selector agrees with the CSR default; CG: %d iters, "
+                "%.4f s in SpMV\n", it_csr, t_csr);
+    return 0;
+  }
+  const auto pick_m = AnyFormatMatrix::convert(a, pick);
+  if (!pick_m) {
+    std::printf("picked format refused the matrix; CSR solve: %d iters, "
+                "%.3f s in SpMV\n", it_csr, t_csr);
+    return 0;
+  }
+  const auto [it_pick, t_pick] = cg_solve(*pick_m, n, 500, 1e-8);
+
+  std::printf("CG with CSR : %3d iters, %.4f s in SpMV\n", it_csr, t_csr);
+  std::printf("CG with %-4s: %3d iters, %.4f s in SpMV  (%.2fx)\n",
+              format_name(pick).c_str(), it_pick, t_pick,
+              t_pick > 0 ? t_csr / t_pick : 0.0);
+  return 0;
+}

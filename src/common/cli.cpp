@@ -1,0 +1,58 @@
+#include "common/cli.hpp"
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    DNNSPMV_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " << arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare flag == boolean true
+    }
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double def) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return std::stod(it->second);
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return it->second;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void Cli::check_unused() const {
+  for (const auto& [name, value] : flags_) {
+    DNNSPMV_CHECK_MSG(used_.count(name), "unknown flag --" << name << "="
+                                                           << value);
+  }
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,32 @@
+// Minimal command-line flag parser for benches and examples.
+//
+// Flags take the form `--name value` or `--name=value`. Unknown flags are an
+// error so typos in experiment sweeps fail loudly instead of silently using
+// defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dnnspmv {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, const std::string& def);
+  bool get_bool(const std::string& name, bool def);
+
+  /// Throws if any provided flag was never consumed by a get_* call.
+  void check_unused() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::map<std::string, bool> used_;
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,38 @@
+// Error-checking macros used across the library.
+//
+// DNNSPMV_CHECK throws std::runtime_error with file/line context; it stays
+// active in release builds because almost every failure it guards (shape
+// mismatches, malformed files, invalid formats) is a data error, not a
+// programming error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dnnspmv {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace dnnspmv
+
+#define DNNSPMV_CHECK(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dnnspmv::throw_check_failure(#cond, __FILE__, __LINE__, {});       \
+  } while (0)
+
+#define DNNSPMV_CHECK_MSG(cond, msg)                                       \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::dnnspmv::throw_check_failure(#cond, __FILE__, __LINE__, os_.str());\
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,18 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+
+namespace dnnspmv {
+
+double time_kernel(const std::function<void()>& fn, int warmup, int reps) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 1e300;
+  for (int i = 0; i < std::max(reps, 1); ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,34 @@
+// Wall-clock timing helpers for kernel measurement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace dnnspmv {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Times `fn` robustly: runs `warmup` unmeasured calls, then `reps` measured
+/// calls, and returns the minimum per-call time in seconds. The minimum is
+/// the standard estimator for kernel benchmarking because measurement noise
+/// is strictly additive.
+double time_kernel(const std::function<void()>& fn, int warmup = 1,
+                   int reps = 5);
+
+}  // namespace dnnspmv

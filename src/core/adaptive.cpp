@@ -1,0 +1,41 @@
+#include "core/adaptive.hpp"
+
+#include "common/timer.hpp"
+
+namespace dnnspmv {
+
+AnyFormatMatrix AdaptiveSpmv::convert_or_csr(const Csr& matrix,
+                                             Format format,
+                                             bool& fell_back) {
+  auto stored = AnyFormatMatrix::convert(matrix, format);
+  if (stored) {
+    fell_back = false;
+    return std::move(*stored);
+  }
+  fell_back = true;
+  return *AnyFormatMatrix::convert(matrix, Format::kCsr);  // never refuses
+}
+
+AdaptiveSpmv::AdaptiveSpmv(const FormatSelector& selector, const Csr& matrix)
+    : stored_(*AnyFormatMatrix::convert(matrix, Format::kCsr)) {
+  Timer predict_timer;
+  const Format pick = selector.predict(matrix);
+  prediction_seconds_ = predict_timer.seconds();
+  Timer convert_timer;
+  stored_ = convert_or_csr(matrix, pick, fell_back_);
+  conversion_seconds_ = convert_timer.seconds();
+}
+
+AdaptiveSpmv::AdaptiveSpmv(const Csr& matrix, Format format)
+    : stored_(*AnyFormatMatrix::convert(matrix, Format::kCsr)) {
+  Timer convert_timer;
+  stored_ = convert_or_csr(matrix, format, fell_back_);
+  conversion_seconds_ = convert_timer.seconds();
+}
+
+void AdaptiveSpmv::apply(std::span<const double> x,
+                         std::span<double> y) const {
+  stored_.spmv(x, y);
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,54 @@
+// Library-integration path (paper §7.6/§8): the predictive model embedded
+// directly into an SpMV operator.
+//
+// AdaptiveSpmv predicts the best format for a matrix once, converts, and
+// then serves y = A*x from the chosen representation. If the predicted
+// format refuses the matrix (DIA/ELL padding blow-up) it falls back to
+// CSR. The constructor records how long prediction and conversion took so
+// callers can reason about amortization ("the 1–3 iterations of overhead
+// is negligible compared to the time the better formats help save").
+#pragma once
+
+#include <optional>
+
+#include "core/selector.hpp"
+#include "sparse/spmv.hpp"
+
+namespace dnnspmv {
+
+class AdaptiveSpmv {
+ public:
+  /// Predicts with `selector`, converts, and owns the stored matrix.
+  AdaptiveSpmv(const FormatSelector& selector, const Csr& matrix);
+
+  /// No prediction: stores the matrix in `format` (CSR fallback applies).
+  AdaptiveSpmv(const Csr& matrix, Format format);
+
+  /// y = A*x in the chosen format.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// The format actually in use (after any fallback).
+  Format format() const { return stored_.format(); }
+
+  /// True when the predicted format refused the matrix and CSR is used.
+  bool fell_back() const { return fell_back_; }
+
+  index_t rows() const { return stored_.rows(); }
+  index_t cols() const { return stored_.cols(); }
+  std::int64_t bytes() const { return stored_.bytes(); }
+
+  /// One-time costs paid at construction.
+  double prediction_seconds() const { return prediction_seconds_; }
+  double conversion_seconds() const { return conversion_seconds_; }
+
+ private:
+  static AnyFormatMatrix convert_or_csr(const Csr& matrix, Format format,
+                                        bool& fell_back);
+
+  AnyFormatMatrix stored_;
+  bool fell_back_ = false;
+  double prediction_seconds_ = 0.0;
+  double conversion_seconds_ = 0.0;
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,149 @@
+#include "core/represent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+namespace {
+
+/// Maps source index i in [0, n) to cell index in [0, s): floor(i*s/n).
+std::int64_t cell_of(std::int64_t i, std::int64_t n, std::int64_t s) {
+  return std::min<std::int64_t>(s - 1, i * s / n);
+}
+
+/// Number of source indices mapped to cell c (for exact density blocks).
+std::int64_t cell_span(std::int64_t c, std::int64_t n, std::int64_t s) {
+  // Inverse of cell_of for the floor mapping: indices i with i*s/n == c
+  // form [ceil(c*n/s), ceil((c+1)*n/s)).
+  const std::int64_t lo = (c * n + s - 1) / s;
+  const std::int64_t hi = ((c + 1) * n + s - 1) / s;
+  return std::max<std::int64_t>(0, std::min(hi, n) - lo);
+}
+
+}  // namespace
+
+std::string rep_mode_name(RepMode m) {
+  switch (m) {
+    case RepMode::kBinary: return "binary";
+    case RepMode::kBinaryDensity: return "binary+density";
+    case RepMode::kHistogram: return "histogram";
+  }
+  DNNSPMV_CHECK_MSG(false, "invalid RepMode");
+}
+
+int rep_num_sources(RepMode m) {
+  return m == RepMode::kBinary ? 1 : 2;
+}
+
+Tensor binary_rep(const Csr& a, std::int64_t s) {
+  DNNSPMV_CHECK(s > 0 && a.rows > 0 && a.cols > 0);
+  Tensor t({s, s});
+  for (index_t r = 0; r < a.rows; ++r) {
+    const std::int64_t cr = cell_of(r, a.rows, s);
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j)
+      t.at2(cr, cell_of(a.idx[j], a.cols, s)) = 1.0f;
+  }
+  return t;
+}
+
+Tensor density_rep(const Csr& a, std::int64_t s) {
+  DNNSPMV_CHECK(s > 0 && a.rows > 0 && a.cols > 0);
+  Tensor t({s, s});
+  for (index_t r = 0; r < a.rows; ++r) {
+    const std::int64_t cr = cell_of(r, a.rows, s);
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j)
+      t.at2(cr, cell_of(a.idx[j], a.cols, s)) += 1.0f;
+  }
+  for (std::int64_t cr = 0; cr < s; ++cr) {
+    const std::int64_t rh = cell_span(cr, a.rows, s);
+    for (std::int64_t cc = 0; cc < s; ++cc) {
+      const std::int64_t cw = cell_span(cc, a.cols, s);
+      const std::int64_t block = rh * cw;
+      if (block > 0)
+        t.at2(cr, cc) /= static_cast<float>(block);
+    }
+  }
+  return t;
+}
+
+Tensor row_histogram_raw(const Csr& a, std::int64_t r, std::int64_t bins) {
+  DNNSPMV_CHECK(r > 0 && bins > 0 && a.rows > 0 && a.cols > 0);
+  Tensor t({r, bins});
+  const std::int64_t max_dim = std::max(a.rows, a.cols);
+  for (index_t row = 0; row < a.rows; ++row) {
+    const std::int64_t hr = cell_of(row, a.rows, r);
+    for (std::int64_t j = a.ptr[row]; j < a.ptr[row + 1]; ++j) {
+      const std::int64_t dist = std::llabs(
+          static_cast<std::int64_t>(a.idx[j]) - row);
+      const std::int64_t bin =
+          std::min<std::int64_t>(bins - 1, bins * dist / max_dim);
+      t.at2(hr, bin) += 1.0f;
+    }
+  }
+  return t;
+}
+
+Tensor col_histogram_raw(const Csr& a, std::int64_t r, std::int64_t bins) {
+  DNNSPMV_CHECK(r > 0 && bins > 0 && a.rows > 0 && a.cols > 0);
+  Tensor t({r, bins});
+  const std::int64_t max_dim = std::max(a.rows, a.cols);
+  for (index_t row = 0; row < a.rows; ++row) {
+    for (std::int64_t j = a.ptr[row]; j < a.ptr[row + 1]; ++j) {
+      const index_t col = a.idx[j];
+      const std::int64_t hc = cell_of(col, a.cols, r);
+      const std::int64_t dist =
+          std::llabs(static_cast<std::int64_t>(col) - row);
+      const std::int64_t bin =
+          std::min<std::int64_t>(bins - 1, bins * dist / max_dim);
+      t.at2(hc, bin) += 1.0f;
+    }
+  }
+  return t;
+}
+
+Tensor normalize_histogram(Tensor h) {
+  // Algorithm 1 normalizes by the matrix maximum. Raw counts span several
+  // decades (one dense row can dwarf every other cell), so we log-compress
+  // before dividing — information-preserving, but it keeps the small-count
+  // structure visible to the convolution filters instead of flushing it
+  // toward zero.
+  for (std::int64_t i = 0; i < h.size(); ++i)
+    h[i] = std::log1p(h[i]);
+  const float mx = h.max_abs();
+  if (mx > 0.0f) h.scale_(1.0f / mx);
+  return h;
+}
+
+Tensor density_scale_histogram(Tensor h, std::int64_t source_rows) {
+  DNNSPMV_CHECK(h.rank() == 2 && source_rows > 0);
+  const double rows_per_group =
+      std::max(1.0, static_cast<double>(source_rows) /
+                        static_cast<double>(h.dim(0)));
+  // log1p(64) caps the useful density range at ~64 nnz/row/bin.
+  const float scale = static_cast<float>(1.0 / std::log1p(64.0));
+  for (std::int64_t i = 0; i < h.size(); ++i) {
+    const double per_row = h[i] / rows_per_group;
+    h[i] = std::min(1.0f, static_cast<float>(std::log1p(per_row)) * scale);
+  }
+  return h;
+}
+
+std::vector<Tensor> make_inputs(const Csr& a, RepMode mode,
+                                std::int64_t size1, std::int64_t size2) {
+  switch (mode) {
+    case RepMode::kBinary:
+      return {binary_rep(a, size1)};
+    case RepMode::kBinaryDensity:
+      return {binary_rep(a, size1), density_rep(a, size1)};
+    case RepMode::kHistogram:
+      return {density_scale_histogram(row_histogram_raw(a, size1, size2),
+                                      a.rows),
+              density_scale_histogram(col_histogram_raw(a, size1, size2),
+                                      a.cols)};
+  }
+  DNNSPMV_CHECK_MSG(false, "invalid RepMode");
+}
+
+}  // namespace dnnspmv

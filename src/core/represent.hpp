@@ -1,0 +1,65 @@
+// Fixed-size matrix representations (paper §4).
+//
+// Three normalizations of an arbitrary sparse matrix into CNN-ready
+// tensors:
+//
+//  * binary     — S×S down-sampling; cell = 1 iff its block holds any
+//                 nonzero (the "traditional image scaling" baseline that
+//                 loses diagonal structure, Figure 4);
+//  * density    — S×S cell = nonzeros in block / block size (Figure 5a);
+//  * histogram  — the paper's winning proposal (Algorithm 1): one r×BINS
+//                 matrix of per-row-group histograms of distances from the
+//                 principal diagonal, plus the analogous column histogram.
+//
+// Histogram values are normalized to [0,1] by the matrix max (paper §4);
+// binary is already 0/1 and density is a ratio in [0,1].
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dnnspmv {
+
+/// Which input-source set feeds the CNN (Table 2's three model columns).
+enum class RepMode : std::int32_t {
+  kBinary = 0,         // 1 source: binary S×S
+  kBinaryDensity = 1,  // 2 sources: binary S×S + density S×S
+  kHistogram = 2,      // 2 sources: row hist r×BINS + column hist r×BINS
+};
+
+std::string rep_mode_name(RepMode m);
+
+/// Number of CNN input sources the mode produces.
+int rep_num_sources(RepMode m);
+
+/// Binary down-sampled S×S representation.
+Tensor binary_rep(const Csr& a, std::int64_t s);
+
+/// Density down-sampled S×S representation (exact per-cell block sizes).
+Tensor density_rep(const Csr& a, std::int64_t s);
+
+/// Row-distance histogram, r rows × bins columns (Algorithm 1), raw counts.
+Tensor row_histogram_raw(const Csr& a, std::int64_t r, std::int64_t bins);
+
+/// Column histogram = row histogram of A^T with the same geometry.
+Tensor col_histogram_raw(const Csr& a, std::int64_t r, std::int64_t bins);
+
+/// Algorithm 1's normalization: [0,1] by the matrix max (log-compressed
+/// first for dynamic range; zero matrix stays zero).
+Tensor normalize_histogram(Tensor h);
+
+/// Density-scaled histogram: cell -> log1p(count / source-rows-per-group),
+/// clipped to [0,1]. Unlike the divide-by-max rule this keeps *absolute*
+/// per-row density — the quantity DIA/ELL padding economics hinge on —
+/// which global max-normalization erases (DESIGN.md §5). Default in the
+/// pipeline; the paper's /max variant is the ablation.
+Tensor density_scale_histogram(Tensor h, std::int64_t source_rows);
+
+/// The full input set for `mode`: size1×size1 for binary/density tensors,
+/// size1×size2 for histograms.
+std::vector<Tensor> make_inputs(const Csr& a, RepMode mode,
+                                std::int64_t size1, std::int64_t size2);
+
+}  // namespace dnnspmv

@@ -1,0 +1,143 @@
+#include "core/selector.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+
+namespace dnnspmv {
+
+Dataset build_dataset(const std::vector<LabeledMatrix>& labeled,
+                      const std::vector<Format>& candidates, RepMode mode,
+                      std::int64_t size1, std::int64_t size2) {
+  Dataset ds;
+  ds.candidates = candidates;
+  ds.samples.reserve(labeled.size());
+  for (const LabeledMatrix& lm : labeled) {
+    Sample s;
+    s.inputs = make_inputs(*lm.matrix, mode, size1, size2);
+    s.features = extract_features(*lm.matrix);
+    s.format_times = lm.format_times;
+    s.label = lm.label;
+    s.gen_class = static_cast<std::int32_t>(lm.gen_class);
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+FormatSelector::FormatSelector(SelectorOptions opts)
+    : opts_(std::move(opts)) {}
+
+CnnSpec FormatSelector::make_spec() const {
+  CnnSpec spec;
+  const int nsources = rep_num_sources(opts_.mode);
+  for (int s = 0; s < nsources; ++s) {
+    if (opts_.mode == RepMode::kHistogram)
+      spec.input_hw.push_back({opts_.size1, opts_.size2});
+    else
+      spec.input_hw.push_back({opts_.size1, opts_.size1});
+  }
+  spec.num_classes = static_cast<int>(candidates_.size());
+  spec.late_merge = opts_.late_merge;
+  spec.seed = opts_.train.seed;
+  return spec;
+}
+
+void FormatSelector::fit(const std::vector<LabeledMatrix>& labeled,
+                         std::vector<Format> candidates) {
+  candidates_ = std::move(candidates);
+  const Dataset ds = build_dataset(labeled, candidates_, opts_.mode,
+                                   opts_.size1, opts_.size2);
+  const CnnSpec spec = make_spec();
+  net_ = std::make_unique<MergeNet>(build_cnn(spec));
+  train_cnn(*net_, ds, num_net_inputs(spec), opts_.train);
+}
+
+void FormatSelector::fit(const Dataset& train) {
+  DNNSPMV_CHECK(!train.samples.empty());
+  candidates_ = train.candidates;
+  const CnnSpec spec = make_spec();
+  net_ = std::make_unique<MergeNet>(build_cnn(spec));
+  train_cnn(*net_, train, num_net_inputs(spec), opts_.train);
+}
+
+std::int32_t FormatSelector::predict_index(const Csr& a) const {
+  DNNSPMV_CHECK_MSG(net_, "predict on an untrained FormatSelector");
+  Dataset one;
+  one.candidates = candidates_;
+  Sample s;
+  s.inputs = make_inputs(a, opts_.mode, opts_.size1, opts_.size2);
+  one.samples.push_back(std::move(s));
+  const auto pred =
+      predict_cnn(*net_, one, num_net_inputs(make_spec()), 1);
+  return pred[0];
+}
+
+Format FormatSelector::predict(const Csr& a) const {
+  return candidates_[static_cast<std::size_t>(predict_index(a))];
+}
+
+MergeNet& FormatSelector::net() {
+  DNNSPMV_CHECK(net_);
+  return *net_;
+}
+
+FormatSelector FormatSelector::migrate(MigrationMethod method,
+                                       const Dataset& target_train,
+                                       const TrainConfig& cfg) const {
+  DNNSPMV_CHECK_MSG(net_, "migrate from an untrained FormatSelector");
+  DNNSPMV_CHECK_MSG(target_train.candidates == candidates_,
+                    "target platform must use the same candidate formats");
+  FormatSelector out(opts_);
+  out.opts_.train = cfg;
+  out.candidates_ = candidates_;
+  out.net_ = std::make_unique<MergeNet>(
+      migrate_model(make_spec(), *net_, method, target_train, cfg));
+  return out;
+}
+
+void FormatSelector::save(const std::string& path) const {
+  DNNSPMV_CHECK_MSG(net_, "save of an untrained FormatSelector");
+  std::ofstream os(path, std::ios::binary);
+  DNNSPMV_CHECK_MSG(os.is_open(), "cannot open " << path << " for write");
+  const auto mode = static_cast<std::int32_t>(opts_.mode);
+  os.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
+  os.write(reinterpret_cast<const char*>(&opts_.size1), sizeof(opts_.size1));
+  os.write(reinterpret_cast<const char*>(&opts_.size2), sizeof(opts_.size2));
+  const std::int32_t late = opts_.late_merge ? 1 : 0;
+  os.write(reinterpret_cast<const char*>(&late), sizeof(late));
+  const auto ncand = static_cast<std::int32_t>(candidates_.size());
+  os.write(reinterpret_cast<const char*>(&ncand), sizeof(ncand));
+  for (Format f : candidates_) {
+    const auto fi = static_cast<std::int32_t>(f);
+    os.write(reinterpret_cast<const char*>(&fi), sizeof(fi));
+  }
+  save_params(os, const_cast<MergeNet&>(*net_).params());
+}
+
+FormatSelector FormatSelector::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DNNSPMV_CHECK_MSG(is.is_open(), "cannot open " << path);
+  SelectorOptions opts;
+  std::int32_t mode = 0, late = 0, ncand = 0;
+  is.read(reinterpret_cast<char*>(&mode), sizeof(mode));
+  is.read(reinterpret_cast<char*>(&opts.size1), sizeof(opts.size1));
+  is.read(reinterpret_cast<char*>(&opts.size2), sizeof(opts.size2));
+  is.read(reinterpret_cast<char*>(&late), sizeof(late));
+  is.read(reinterpret_cast<char*>(&ncand), sizeof(ncand));
+  DNNSPMV_CHECK_MSG(is.good() && ncand >= 2, "corrupt selector file");
+  opts.mode = static_cast<RepMode>(mode);
+  opts.late_merge = late != 0;
+  FormatSelector sel(opts);
+  for (std::int32_t i = 0; i < ncand; ++i) {
+    std::int32_t fi = 0;
+    is.read(reinterpret_cast<char*>(&fi), sizeof(fi));
+    sel.candidates_.push_back(static_cast<Format>(fi));
+  }
+  sel.net_ = std::make_unique<MergeNet>(build_cnn(sel.make_spec()));
+  load_params(is, sel.net_->params());
+  return sel;
+}
+
+}  // namespace dnnspmv

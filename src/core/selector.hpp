@@ -1,0 +1,70 @@
+// FormatSelector — the library's public façade.
+//
+// Wraps the full pipeline of paper Figure 3: given matrices labelled on a
+// platform (collect_labels), it normalizes them (RepMode), builds the
+// late-merging CNN, trains it, and then predicts the best SpMV format for
+// unseen matrices. Models persist to a single file and can be migrated to
+// another platform with migrate() (paper §6).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/represent.hpp"
+#include "core/transfer.hpp"
+#include "ml/features.hpp"
+#include "perf/labels.hpp"
+
+namespace dnnspmv {
+
+struct SelectorOptions {
+  RepMode mode = RepMode::kHistogram;
+  std::int64_t size1 = 32;  // rows of the representation
+  std::int64_t size2 = 16;  // histogram bins (ignored for binary/density)
+  bool late_merge = true;
+  TrainConfig train;
+};
+
+/// Builds the CNN-ready dataset from labelled matrices: step 2 of Figure 3.
+Dataset build_dataset(const std::vector<LabeledMatrix>& labeled,
+                      const std::vector<Format>& candidates, RepMode mode,
+                      std::int64_t size1, std::int64_t size2);
+
+class FormatSelector {
+ public:
+  explicit FormatSelector(SelectorOptions opts = {});
+
+  /// Full pipeline: normalize + build CNN + train.
+  void fit(const std::vector<LabeledMatrix>& labeled,
+           std::vector<Format> candidates);
+
+  /// Trains on a pre-built dataset (its candidates become this selector's).
+  void fit(const Dataset& train);
+
+  /// Predicted best format for a new matrix.
+  Format predict(const Csr& a) const;
+
+  /// Index into candidates() instead of the Format enum.
+  std::int32_t predict_index(const Csr& a) const;
+
+  const std::vector<Format>& candidates() const { return candidates_; }
+  const SelectorOptions& options() const { return opts_; }
+  bool trained() const { return net_ != nullptr; }
+  MergeNet& net();
+
+  /// Migrates this selector's model to a new platform's labels.
+  FormatSelector migrate(MigrationMethod method, const Dataset& target_train,
+                         const TrainConfig& cfg) const;
+
+  void save(const std::string& path) const;
+  static FormatSelector load(const std::string& path);
+
+ private:
+  CnnSpec make_spec() const;
+
+  SelectorOptions opts_;
+  std::vector<Format> candidates_;
+  std::unique_ptr<MergeNet> net_;  // unique_ptr: MergeNet is move-averse
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,138 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dnnspmv {
+
+std::vector<Tensor> assemble_batch(const Dataset& data,
+                                   const std::vector<std::int32_t>& idx,
+                                   int net_inputs) {
+  DNNSPMV_CHECK(!idx.empty() && !data.samples.empty());
+  const auto& first = data.samples[static_cast<std::size_t>(idx[0])];
+  const int nsources = static_cast<int>(first.inputs.size());
+  DNNSPMV_CHECK_MSG(net_inputs == nsources || net_inputs == 1,
+                    "cannot feed " << nsources << " sources into "
+                                   << net_inputs << " towers");
+  const auto batch = static_cast<std::int64_t>(idx.size());
+
+  std::vector<Tensor> out;
+  if (net_inputs == nsources) {
+    // One tower per source: batch tensors [B, 1, H, W].
+    for (int s = 0; s < nsources; ++s) {
+      const auto& shape = first.inputs[static_cast<std::size_t>(s)].shape();
+      Tensor t({batch, 1, shape[0], shape[1]});
+      for (std::int64_t b = 0; b < batch; ++b) {
+        const Tensor& src =
+            data.samples[static_cast<std::size_t>(idx[b])]
+                .inputs[static_cast<std::size_t>(s)];
+        DNNSPMV_CHECK(src.shape() == shape);
+        std::copy(src.data(), src.data() + src.size(),
+                  t.data() + b * src.size());
+      }
+      out.push_back(std::move(t));
+    }
+  } else {
+    // Early merging: stack all sources as channels of one input.
+    const auto& shape = first.inputs[0].shape();
+    Tensor t({batch, nsources, shape[0], shape[1]});
+    const std::int64_t plane = shape[0] * shape[1];
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (int s = 0; s < nsources; ++s) {
+        const Tensor& src =
+            data.samples[static_cast<std::size_t>(idx[b])]
+                .inputs[static_cast<std::size_t>(s)];
+        DNNSPMV_CHECK(src.shape() == shape);
+        std::copy(src.data(), src.data() + plane,
+                  t.data() + (b * nsources + s) * plane);
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TrainHistory train_cnn(MergeNet& net, const Dataset& data, int net_inputs,
+                       const TrainConfig& cfg) {
+  DNNSPMV_CHECK(!data.samples.empty());
+  TrainHistory hist;
+  Adam opt(net.params(), cfg.lr);
+  Rng rng(cfg.seed);
+  std::vector<std::int32_t> order(data.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Step decay: drop the learning rate for the final third of training.
+    if (cfg.epochs >= 6 && epoch == (cfg.epochs * 2) / 3)
+      opt.set_lr(cfg.lr * 0.3);
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    int steps = 0;
+    for (std::size_t off = 0; off < order.size();
+         off += static_cast<std::size_t>(cfg.batch)) {
+      const std::size_t end =
+          std::min(order.size(), off + static_cast<std::size_t>(cfg.batch));
+      const std::vector<std::int32_t> idx(order.begin() + off,
+                                          order.begin() + end);
+      const std::vector<Tensor> inputs =
+          assemble_batch(data, idx, net_inputs);
+      std::vector<std::int32_t> labels;
+      labels.reserve(idx.size());
+      for (std::int32_t i : idx)
+        labels.push_back(data.samples[static_cast<std::size_t>(i)].label);
+
+      Tensor logits;
+      net.forward(inputs, logits, /*training=*/true);
+      Tensor grad;
+      const double loss = softmax_cross_entropy(logits, labels, grad);
+      net.backward(inputs, grad);
+      opt.step();
+
+      hist.step_loss.push_back(loss);
+      epoch_loss += loss;
+      ++steps;
+    }
+    hist.epoch_loss.push_back(epoch_loss / std::max(steps, 1));
+    if (cfg.verbose)
+      std::printf("  epoch %2d/%d  loss %.4f\n", epoch + 1, cfg.epochs,
+                  hist.epoch_loss.back());
+  }
+  return hist;
+}
+
+std::vector<std::int32_t> predict_cnn(MergeNet& net, const Dataset& data,
+                                      int net_inputs, int batch) {
+  std::vector<std::int32_t> pred;
+  pred.reserve(data.samples.size());
+  for (std::size_t off = 0; off < data.samples.size();
+       off += static_cast<std::size_t>(batch)) {
+    const std::size_t end = std::min(
+        data.samples.size(), off + static_cast<std::size_t>(batch));
+    std::vector<std::int32_t> idx;
+    for (std::size_t i = off; i < end; ++i)
+      idx.push_back(static_cast<std::int32_t>(i));
+    const std::vector<Tensor> inputs = assemble_batch(data, idx, net_inputs);
+    Tensor logits;
+    net.forward(inputs, logits, /*training=*/false);
+    for (std::int32_t p : argmax_rows(logits)) pred.push_back(p);
+  }
+  return pred;
+}
+
+double accuracy_cnn(MergeNet& net, const Dataset& data, int net_inputs) {
+  const auto pred = predict_cnn(net, data, net_inputs);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == data.samples[i].label) ++correct;
+  return data.samples.empty()
+             ? 0.0
+             : static_cast<double>(correct) /
+                   static_cast<double>(data.samples.size());
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,43 @@
+// Mini-batch CNN training loop (paper Figure 3, step 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model_zoo.hpp"
+#include "io/dataset.hpp"
+
+namespace dnnspmv {
+
+struct TrainConfig {
+  int epochs = 15;
+  int batch = 32;
+  double lr = 1e-3;
+  std::uint64_t seed = 123;
+  bool verbose = false;
+};
+
+struct TrainHistory {
+  std::vector<double> step_loss;   // cross-entropy per optimizer step
+  std::vector<double> epoch_loss;  // mean loss per epoch
+};
+
+/// Builds the NCHW batch tensors for samples `idx`. When the network has a
+/// single tower but samples carry several sources (early merging), the
+/// sources are stacked as channels.
+std::vector<Tensor> assemble_batch(const Dataset& data,
+                                   const std::vector<std::int32_t>& idx,
+                                   int net_inputs);
+
+/// Trains in place with Adam; respects frozen parameters.
+TrainHistory train_cnn(MergeNet& net, const Dataset& data,
+                       int net_inputs, const TrainConfig& cfg);
+
+/// Argmax predictions for every sample.
+std::vector<std::int32_t> predict_cnn(MergeNet& net, const Dataset& data,
+                                      int net_inputs, int batch = 64);
+
+/// Fraction of samples predicted correctly.
+double accuracy_cnn(MergeNet& net, const Dataset& data, int net_inputs);
+
+}  // namespace dnnspmv

@@ -1,0 +1,88 @@
+#include "gen/augment.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+Csr crop(const Csr& a, index_t r0, index_t c0, index_t h, index_t w) {
+  DNNSPMV_CHECK(r0 >= 0 && c0 >= 0 && h > 0 && w > 0);
+  DNNSPMV_CHECK(r0 + h <= a.rows && c0 + w <= a.cols);
+  std::vector<Triplet> ts;
+  for (index_t r = r0; r < r0 + h; ++r) {
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j) {
+      const index_t c = a.idx[j];
+      if (c >= c0 && c < c0 + w)
+        ts.push_back({r - r0, c - c0, a.val[j]});
+    }
+  }
+  return csr_from_triplets(h, w, std::move(ts));
+}
+
+Csr random_crop(const Csr& a, double min_frac, Rng& rng) {
+  DNNSPMV_CHECK(min_frac > 0.0 && min_frac <= 1.0);
+  const index_t h = std::max<index_t>(
+      1, static_cast<index_t>(a.rows * rng.uniform(min_frac, 1.0)));
+  const index_t w = std::max<index_t>(
+      1, static_cast<index_t>(a.cols * rng.uniform(min_frac, 1.0)));
+  const index_t r0 =
+      static_cast<index_t>(rng.uniform_int(0, a.rows - h));
+  const index_t c0 =
+      static_cast<index_t>(rng.uniform_int(0, a.cols - w));
+  return crop(a, r0, c0, h, w);
+}
+
+Csr perturb_permute(const Csr& a, index_t swaps, Rng& rng) {
+  std::vector<index_t> rperm(static_cast<std::size_t>(a.rows));
+  std::vector<index_t> cperm(static_cast<std::size_t>(a.cols));
+  std::iota(rperm.begin(), rperm.end(), 0);
+  std::iota(cperm.begin(), cperm.end(), 0);
+  for (index_t s = 0; s < swaps; ++s) {
+    if (a.rows > 1)
+      std::swap(rperm[rng.uniform_u64(static_cast<std::uint64_t>(a.rows))],
+                rperm[rng.uniform_u64(static_cast<std::uint64_t>(a.rows))]);
+    if (a.cols > 1)
+      std::swap(cperm[rng.uniform_u64(static_cast<std::uint64_t>(a.cols))],
+                cperm[rng.uniform_u64(static_cast<std::uint64_t>(a.cols))]);
+  }
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t r = 0; r < a.rows; ++r)
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j)
+      ts.push_back({rperm[r], cperm[a.idx[j]], a.val[j]});
+  return csr_from_triplets(a.rows, a.cols, std::move(ts));
+}
+
+Csr block_diag(const Csr& a, const Csr& b) {
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  for (index_t r = 0; r < a.rows; ++r)
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j)
+      ts.push_back({r, a.idx[j], a.val[j]});
+  for (index_t r = 0; r < b.rows; ++r)
+    for (std::int64_t j = b.ptr[r]; j < b.ptr[r + 1]; ++j)
+      ts.push_back({a.rows + r, a.cols + b.idx[j], b.val[j]});
+  return csr_from_triplets(a.rows + b.rows, a.cols + b.cols, std::move(ts));
+}
+
+Csr overlay(const Csr& a, const Csr& b) {
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  for (index_t r = 0; r < a.rows; ++r)
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j)
+      ts.push_back({r, a.idx[j], a.val[j]});
+  for (index_t r = 0; r < std::min(a.rows, b.rows); ++r)
+    for (std::int64_t j = b.ptr[r]; j < b.ptr[r + 1]; ++j)
+      if (b.idx[j] < a.cols) ts.push_back({r, b.idx[j], b.val[j]});
+  return csr_from_triplets(a.rows, a.cols, std::move(ts));
+}
+
+Csr scale_values(const Csr& a, double s) {
+  Csr out = a;
+  for (double& v : out.val) v *= s;
+  return out;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,30 @@
+// Corpus augmentation (paper §7.1: "cropping, transforming and randomized
+// combinations of the original matrices" grow 2,757 matrices to 9,200).
+#pragma once
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace dnnspmv {
+
+/// Submatrix [r0, r0+h) × [c0, c0+w).
+Csr crop(const Csr& a, index_t r0, index_t c0, index_t h, index_t w);
+
+/// Random crop keeping at least `min_frac` of each dimension.
+Csr random_crop(const Csr& a, double min_frac, Rng& rng);
+
+/// Applies `swaps` random row swaps and `swaps` random column swaps —
+/// a mild structural perturbation that keeps coarse patterns.
+Csr perturb_permute(const Csr& a, index_t swaps, Rng& rng);
+
+/// Block-diagonal stack: diag(A, B).
+Csr block_diag(const Csr& a, const Csr& b);
+
+/// Structural overlay: A + B restricted to A's shape (B entries outside
+/// A's bounds are dropped; coincident entries sum).
+Csr overlay(const Csr& a, const Csr& b);
+
+/// Scales every value by s (SpMV structure unchanged — sanity tool).
+Csr scale_values(const Csr& a, double s);
+
+}  // namespace dnnspmv

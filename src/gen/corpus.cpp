@@ -1,0 +1,129 @@
+#include "gen/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gen/augment.hpp"
+
+namespace dnnspmv {
+namespace {
+
+index_t rand_dim(const CorpusSpec& spec, Rng& rng) {
+  // Log-uniform between min and max so small and large matrices both appear.
+  const double lo = std::log(static_cast<double>(spec.min_dim));
+  const double hi = std::log(static_cast<double>(spec.max_dim));
+  return static_cast<index_t>(std::exp(rng.uniform(lo, hi)));
+}
+
+CorpusEntry make_base(const CorpusSpec& spec, Rng& rng) {
+  // Class weights loosely follow the label skew the paper reports in
+  // Table 2 (CSR-friendly matrices dominate real collections).
+  const double u = rng.uniform();
+  const index_t m = rand_dim(spec, rng);
+  const index_t n = rand_dim(spec, rng);
+  // Real collections cluster away from format-crossover boundaries, so
+  // fills/jitters are sampled bimodally: mostly deep inside a format's
+  // comfort zone, with a thin boundary population.
+  if (u < 0.14) {
+    const double fill =
+        rng.bernoulli(0.75) ? rng.uniform(0.8, 1.0) : rng.uniform(0.5, 0.8);
+    return {gen_banded(m, m, static_cast<index_t>(rng.uniform_int(1, 8)),
+                       fill, rng),
+            GenClass::kBanded};
+  }
+  if (u < 0.26) {
+    const double fill =
+        rng.bernoulli(0.75) ? rng.uniform(0.8, 1.0) : rng.uniform(0.55, 0.8);
+    return {gen_multidiag(m, m,
+                          static_cast<index_t>(rng.uniform_int(3, 12)),
+                          fill, rng),
+            GenClass::kMultiDiag};
+  }
+  if (u < 0.44) {
+    const index_t jitter =
+        rng.bernoulli(0.7) ? 0
+                           : static_cast<index_t>(rng.uniform_int(1, 2));
+    return {gen_uniform_rows(m, n,
+                             static_cast<index_t>(rng.uniform_int(4, 24)),
+                             jitter, rng),
+            GenClass::kUniformRows};
+  }
+  if (u < 0.66) {
+    return {gen_powerlaw(m, n, rng.uniform(4.0, 16.0),
+                         rng.uniform(1.3, 2.5), rng),
+            GenClass::kPowerLaw};
+  }
+  if (u < 0.78) {
+    return {gen_block(m, n, rng.uniform(1.0, 6.0), rng.uniform(0.8, 1.0),
+                      rng),
+            GenClass::kBlock};
+  }
+  if (u < 0.86) {
+    const std::int64_t nnz =
+        std::max<std::int64_t>(8, static_cast<std::int64_t>(m) / 4);
+    return {gen_hypersparse(m, n, nnz, rng), GenClass::kHypersparse};
+  }
+  if (u < 0.94) {
+    return {gen_dense_rows(m, n,
+                           static_cast<index_t>(rng.uniform_int(3, 10)),
+                           static_cast<index_t>(rng.uniform_int(2, 8)),
+                           std::min<index_t>(n, static_cast<index_t>(
+                                                    rng.uniform_int(64, 256))),
+                           rng),
+            GenClass::kDenseRows};
+  }
+  // R-MAT: scale derived from requested dims.
+  index_t scale = 7;
+  while ((static_cast<index_t>(1) << (scale + 1)) <= spec.max_dim &&
+         scale < 12)
+    ++scale;
+  scale = static_cast<index_t>(rng.uniform_int(7, scale));
+  const std::int64_t nnz = (static_cast<std::int64_t>(1) << scale) *
+                           rng.uniform_int(4, 12);
+  return {gen_rmat(scale, nnz, 0.45, 0.22, 0.22, rng), GenClass::kRmat};
+}
+
+CorpusEntry derive(const CorpusEntry& base, const CorpusSpec& spec,
+                   Rng& rng) {
+  const double u = rng.uniform();
+  const Csr& a = base.matrix;
+  if (u < 0.4 && a.rows > 8 && a.cols > 8) {
+    return {random_crop(a, 0.4, rng), GenClass::kDerived};
+  }
+  if (u < 0.7) {
+    const auto swaps = static_cast<index_t>(
+        std::max<std::int64_t>(1, a.rows / 32));
+    return {perturb_permute(a, swaps, rng), GenClass::kDerived};
+  }
+  // Randomized combination with a fresh base matrix.
+  CorpusEntry other = make_base(spec, rng);
+  if (rng.bernoulli(0.5) &&
+      static_cast<std::int64_t>(a.rows) + other.matrix.rows <=
+          2 * spec.max_dim) {
+    return {block_diag(a, other.matrix), GenClass::kDerived};
+  }
+  return {overlay(a, other.matrix), GenClass::kDerived};
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> build_corpus(const CorpusSpec& spec) {
+  DNNSPMV_CHECK(spec.count > 0 && spec.min_dim >= 8 &&
+                spec.max_dim >= spec.min_dim);
+  Rng rng(spec.seed);
+  std::vector<CorpusEntry> corpus;
+  corpus.reserve(static_cast<std::size_t>(spec.count));
+  const auto n_base = static_cast<std::int64_t>(
+      static_cast<double>(spec.count) * (1.0 - spec.derived_frac));
+  for (std::int64_t i = 0; i < n_base; ++i)
+    corpus.push_back(make_base(spec, rng));
+  while (static_cast<std::int64_t>(corpus.size()) < spec.count) {
+    const auto pick = rng.uniform_u64(corpus.size());
+    corpus.push_back(derive(corpus[static_cast<std::size_t>(pick)], spec,
+                            rng));
+  }
+  return corpus;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,30 @@
+// Corpus builder: a reproducible mix of generator classes plus augmented
+// derivatives, standing in for the paper's SuiteSparse-derived 9,200-matrix
+// set (DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "gen/generators.hpp"
+
+namespace dnnspmv {
+
+struct CorpusEntry {
+  Csr matrix;
+  GenClass gen_class;
+};
+
+struct CorpusSpec {
+  std::int64_t count = 1200;
+  index_t min_dim = 128;
+  index_t max_dim = 1024;
+  double derived_frac = 0.30;  // fraction produced by augmenting base ones
+  std::uint64_t seed = 42;
+};
+
+/// Builds `spec.count` matrices. Class mix is fixed by the seed; the
+/// structural parameters of each matrix are randomized within class-typical
+/// ranges so no two matrices are identical.
+std::vector<CorpusEntry> build_corpus(const CorpusSpec& spec);
+
+}  // namespace dnnspmv

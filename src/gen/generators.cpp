@@ -1,0 +1,207 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+namespace {
+
+double rand_val(Rng& rng) { return rng.uniform(0.5, 1.5); }
+
+/// Draws `k` distinct columns in [0, cols) into `out` (sorted).
+void distinct_cols(index_t cols, index_t k, Rng& rng,
+                   std::vector<index_t>& out) {
+  out.clear();
+  if (k >= cols) {
+    for (index_t c = 0; c < cols; ++c) out.push_back(c);
+    return;
+  }
+  std::unordered_set<index_t> seen;
+  while (static_cast<index_t>(out.size()) < k) {
+    const auto c = static_cast<index_t>(rng.uniform_u64(
+        static_cast<std::uint64_t>(cols)));
+    if (seen.insert(c).second) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+std::string gen_class_name(GenClass c) {
+  switch (c) {
+    case GenClass::kBanded: return "banded";
+    case GenClass::kMultiDiag: return "multidiag";
+    case GenClass::kUniformRows: return "uniform_rows";
+    case GenClass::kPowerLaw: return "powerlaw";
+    case GenClass::kBlock: return "block";
+    case GenClass::kHypersparse: return "hypersparse";
+    case GenClass::kDenseRows: return "dense_rows";
+    case GenClass::kRmat: return "rmat";
+    case GenClass::kDerived: return "derived";
+    case GenClass::kReal: return "real";
+  }
+  DNNSPMV_CHECK_MSG(false, "invalid GenClass");
+}
+
+Csr gen_banded(index_t rows, index_t cols, index_t band, double fill,
+               Rng& rng) {
+  DNNSPMV_CHECK(rows > 0 && cols > 0 && band >= 0);
+  std::vector<Triplet> ts;
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t c0 = std::max<index_t>(0, r - band);
+    const index_t c1 = std::min<index_t>(cols - 1, r + band);
+    for (index_t c = c0; c <= c1; ++c)
+      if (rng.bernoulli(fill)) ts.push_back({r, c, rand_val(rng)});
+  }
+  return csr_from_triplets(rows, cols, std::move(ts));
+}
+
+Csr gen_multidiag(index_t rows, index_t cols, index_t ndiags, double fill,
+                  Rng& rng) {
+  DNNSPMV_CHECK(rows > 0 && cols > 0 && ndiags >= 1);
+  std::vector<index_t> offsets = {0};
+  std::unordered_set<index_t> seen = {0};
+  // Keep offsets within a quarter of the span so diagonals are only mildly
+  // truncated at the matrix edge (heavily clipped diagonals would drag the
+  // effective DIA fill toward the DIA/CSR crossover for every matrix).
+  const index_t span = std::max<index_t>(1, (std::min(rows, cols) - 1) / 4);
+  while (static_cast<index_t>(offsets.size()) < ndiags && span > 0) {
+    const auto off =
+        static_cast<index_t>(rng.uniform_int(-span, span));
+    if (seen.insert(off).second) offsets.push_back(off);
+  }
+  std::vector<Triplet> ts;
+  for (index_t off : offsets) {
+    const index_t r0 = std::max<index_t>(0, -off);
+    const index_t r1 = std::min<index_t>(rows, cols - off);
+    for (index_t r = r0; r < r1; ++r)
+      if (rng.bernoulli(fill)) ts.push_back({r, r + off, rand_val(rng)});
+  }
+  return csr_from_triplets(rows, cols, std::move(ts));
+}
+
+Csr gen_uniform_rows(index_t rows, index_t cols, index_t nnz_per_row,
+                     index_t jitter, Rng& rng) {
+  DNNSPMV_CHECK(rows > 0 && cols > 0 && nnz_per_row >= 0);
+  std::vector<Triplet> ts;
+  std::vector<index_t> cbuf;
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t k = std::clamp<index_t>(
+        nnz_per_row +
+            static_cast<index_t>(jitter > 0 ? rng.uniform_int(-jitter, jitter)
+                                            : 0),
+        0, cols);
+    distinct_cols(cols, k, rng, cbuf);
+    for (index_t c : cbuf) ts.push_back({r, c, rand_val(rng)});
+  }
+  return csr_from_triplets(rows, cols, std::move(ts));
+}
+
+Csr gen_powerlaw(index_t rows, index_t cols, double mean_nnz, double alpha,
+                 Rng& rng) {
+  DNNSPMV_CHECK(rows > 0 && cols > 0 && alpha > 1.0);
+  // Pareto with xm chosen so the mean is mean_nnz: mean = alpha*xm/(alpha-1).
+  const double xm = mean_nnz * (alpha - 1.0) / alpha;
+  std::vector<Triplet> ts;
+  std::vector<index_t> cbuf;
+  for (index_t r = 0; r < rows; ++r) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double len = xm / std::pow(u, 1.0 / alpha);
+    const index_t k = std::clamp<index_t>(
+        static_cast<index_t>(std::lround(len)), 0, cols);
+    distinct_cols(cols, k, rng, cbuf);
+    for (index_t c : cbuf) ts.push_back({r, c, rand_val(rng)});
+  }
+  return csr_from_triplets(rows, cols, std::move(ts));
+}
+
+Csr gen_block(index_t rows, index_t cols, double blocks_per_row,
+              double inner_fill, Rng& rng) {
+  DNNSPMV_CHECK(rows > 0 && cols > 0 && blocks_per_row >= 0 &&
+                inner_fill > 0.0 && inner_fill <= 1.0);
+  const index_t brows = (rows + 3) / 4;
+  const index_t bcols = (cols + 3) / 4;
+  std::vector<Triplet> ts;
+  std::vector<index_t> bbuf;
+  for (index_t br = 0; br < brows; ++br) {
+    // Poisson-ish block count around blocks_per_row.
+    const index_t nb = std::clamp<index_t>(
+        static_cast<index_t>(
+            std::lround(blocks_per_row * rng.uniform(0.5, 1.5))),
+        1, bcols);
+    distinct_cols(bcols, nb, rng, bbuf);
+    for (index_t bc : bbuf) {
+      for (index_t i = 0; i < 4; ++i) {
+        const index_t r = br * 4 + i;
+        if (r >= rows) break;
+        for (index_t j = 0; j < 4; ++j) {
+          const index_t c = bc * 4 + j;
+          if (c >= cols) break;
+          if (rng.bernoulli(inner_fill)) ts.push_back({r, c, rand_val(rng)});
+        }
+      }
+    }
+  }
+  return csr_from_triplets(rows, cols, std::move(ts));
+}
+
+Csr gen_hypersparse(index_t rows, index_t cols, std::int64_t nnz, Rng& rng) {
+  DNNSPMV_CHECK(rows > 0 && cols > 0 && nnz >= 0);
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    const auto r = static_cast<index_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(rows)));
+    const auto c = static_cast<index_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(cols)));
+    ts.push_back({r, c, rand_val(rng)});  // duplicates merge in csr builder
+  }
+  return csr_from_triplets(rows, cols, std::move(ts));
+}
+
+Csr gen_dense_rows(index_t rows, index_t cols, index_t base_nnz,
+                   index_t n_dense, index_t dense_len, Rng& rng) {
+  DNNSPMV_CHECK(rows > 0 && cols > 0);
+  std::vector<Triplet> ts;
+  std::vector<index_t> cbuf;
+  std::unordered_set<index_t> dense_rows;
+  while (static_cast<index_t>(dense_rows.size()) <
+         std::min<index_t>(n_dense, rows)) {
+    dense_rows.insert(static_cast<index_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(rows))));
+  }
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t k = dense_rows.count(r)
+                          ? std::min<index_t>(dense_len, cols)
+                          : std::min<index_t>(base_nnz, cols);
+    distinct_cols(cols, k, rng, cbuf);
+    for (index_t c : cbuf) ts.push_back({r, c, rand_val(rng)});
+  }
+  return csr_from_triplets(rows, cols, std::move(ts));
+}
+
+Csr gen_rmat(index_t scale, std::int64_t nnz, double a, double b, double c,
+             Rng& rng) {
+  DNNSPMV_CHECK(scale >= 1 && scale <= 20);
+  DNNSPMV_CHECK(a + b + c < 1.0);
+  const index_t n = static_cast<index_t>(1) << scale;
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t e = 0; e < nnz; ++e) {
+    index_t r = 0, col = 0;
+    for (index_t lvl = 0; lvl < scale; ++lvl) {
+      const double u = rng.uniform();
+      const bool down = (u >= a + b);         // lower half
+      const bool right = (u >= a && u < a + b) || (u >= a + b + c);
+      r = (r << 1) | (down ? 1 : 0);
+      col = (col << 1) | (right ? 1 : 0);
+    }
+    ts.push_back({r, col, rand_val(rng)});
+  }
+  return csr_from_triplets(n, n, std::move(ts));
+}
+
+}  // namespace dnnspmv

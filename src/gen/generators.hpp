@@ -1,0 +1,71 @@
+// Synthetic sparse-matrix generators.
+//
+// The paper's corpus is 2,757 SuiteSparse matrices plus derived variants
+// (~9,200 total). Offline we synthesize a corpus that spans the same
+// structural axes those matrices cover — and that make different storage
+// formats win: diagonal structure (DIA), uniform row lengths (ELL), skewed
+// row lengths (CSR/CSR5/HYB), dense 4×4 blocks (BSR), and extreme sparsity
+// (COO). Class tags are carried for analysis only; labels always come from
+// measured/modelled SpMV time (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace dnnspmv {
+
+enum class GenClass : std::int32_t {
+  kBanded = 0,      // contiguous band around the principal diagonal
+  kMultiDiag = 1,   // a handful of scattered, well-filled diagonals
+  kUniformRows = 2, // near-constant nonzeros per row, random columns
+  kPowerLaw = 3,    // Pareto row lengths (scale-free graphs)
+  kBlock = 4,       // dense 4×4 blocks at random block positions
+  kHypersparse = 5, // nnz << rows, isolated entries
+  kDenseRows = 6,   // uniform base plus a few very long rows
+  kRmat = 7,        // recursive Kronecker-style skewed graph
+  kDerived = 8,     // produced by augmentation of another matrix
+  kReal = 9,        // read from a MatrixMarket file
+};
+
+constexpr std::int32_t kNumGenClasses = 10;
+
+std::string gen_class_name(GenClass c);
+
+/// Band of half-width `band` around the diagonal; each in-band entry is
+/// present with probability `fill`.
+Csr gen_banded(index_t rows, index_t cols, index_t band, double fill,
+               Rng& rng);
+
+/// `ndiags` distinct diagonals (principal always included), each filled with
+/// probability `fill`.
+Csr gen_multidiag(index_t rows, index_t cols, index_t ndiags, double fill,
+                  Rng& rng);
+
+/// Each row gets nnz_per_row ± jitter entries at uniform random columns.
+Csr gen_uniform_rows(index_t rows, index_t cols, index_t nnz_per_row,
+                     index_t jitter, Rng& rng);
+
+/// Row lengths ~ Pareto(alpha) scaled to `mean_nnz`, clamped to [0, cols].
+Csr gen_powerlaw(index_t rows, index_t cols, double mean_nnz, double alpha,
+                 Rng& rng);
+
+/// Random 4×4 blocks: `blocks_per_row` blocks per block-row on average,
+/// each block `inner_fill` dense.
+Csr gen_block(index_t rows, index_t cols, double blocks_per_row,
+              double inner_fill, Rng& rng);
+
+/// `nnz` isolated entries scattered uniformly.
+Csr gen_hypersparse(index_t rows, index_t cols, std::int64_t nnz, Rng& rng);
+
+/// Uniform base of `base_nnz` per row plus `n_dense` rows of `dense_len`.
+Csr gen_dense_rows(index_t rows, index_t cols, index_t base_nnz,
+                   index_t n_dense, index_t dense_len, Rng& rng);
+
+/// R-MAT recursive generator (a,b,c,d quadrant probabilities).
+Csr gen_rmat(index_t scale, std::int64_t nnz, double a, double b, double c,
+             Rng& rng);
+
+}  // namespace dnnspmv

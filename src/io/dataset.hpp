@@ -1,0 +1,45 @@
+// Binary dataset container for labelled training samples.
+//
+// A Dataset stores, per sample, the normalized input representations (a
+// fixed number of equally-shaped tensors — e.g. row histogram + column
+// histogram), the hand-crafted feature vector for the DT baseline, the
+// per-format measured/modelled SpMV times, and the label (best format id).
+// The on-disk layout is a flat little-endian dump, the role the paper's
+// .npz files play in the artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/format.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dnnspmv {
+
+struct Sample {
+  std::vector<Tensor> inputs;        // one per CNN source
+  std::vector<double> features;      // DT feature vector
+  std::vector<double> format_times;  // seconds per candidate format (inf =
+                                     // format refused the matrix)
+  std::int32_t label = 0;            // index into the candidate format list
+  std::int32_t gen_class = -1;       // generator class tag (analysis only)
+};
+
+struct Dataset {
+  std::vector<Format> candidates;  // the format list labels index into
+  std::vector<Sample> samples;
+
+  std::size_t size() const { return samples.size(); }
+
+  /// Per-class sample counts ("Ground Truth" column of Tables 2/3).
+  std::vector<std::int64_t> label_histogram() const;
+
+  void save(const std::string& path) const;
+  static Dataset load(const std::string& path);
+
+  /// Index-based subset (for cross-validation folds).
+  Dataset subset(const std::vector<std::int32_t>& indices) const;
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,96 @@
+#include "io/mmio.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& is) {
+  std::string line;
+  DNNSPMV_CHECK_MSG(std::getline(is, line), "empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, fmt, field, symmetry;
+  header >> banner >> object >> fmt >> field >> symmetry;
+  DNNSPMV_CHECK_MSG(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  object = lower(object);
+  fmt = lower(fmt);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  DNNSPMV_CHECK_MSG(object == "matrix", "unsupported object: " << object);
+  DNNSPMV_CHECK_MSG(fmt == "coordinate", "only coordinate format supported");
+  DNNSPMV_CHECK_MSG(field == "real" || field == "integer" ||
+                        field == "pattern",
+                    "unsupported field: " << field);
+  DNNSPMV_CHECK_MSG(symmetry == "general" || symmetry == "symmetric" ||
+                        symmetry == "skew-symmetric",
+                    "unsupported symmetry: " << symmetry);
+  const bool pattern = field == "pattern";
+  const bool sym = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+
+  // Skip comments; first non-comment line is the size line.
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  std::int64_t rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  DNNSPMV_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
+                    "bad MatrixMarket size line: " << line);
+
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(entries) * (sym || skew ? 2 : 1));
+  for (std::int64_t k = 0; k < entries; ++k) {
+    DNNSPMV_CHECK_MSG(std::getline(is, line),
+                      "truncated MatrixMarket data at entry " << k);
+    std::istringstream e(line);
+    std::int64_t r = 0, c = 0;
+    double v = 1.0;
+    e >> r >> c;
+    if (!pattern) e >> v;
+    DNNSPMV_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                      "entry (" << r << ',' << c << ") out of bounds");
+    const auto ri = static_cast<index_t>(r - 1);
+    const auto ci = static_cast<index_t>(c - 1);
+    ts.push_back({ri, ci, v});
+    if ((sym || skew) && ri != ci) ts.push_back({ci, ri, skew ? -v : v});
+  }
+  return csr_from_triplets(static_cast<index_t>(rows),
+                           static_cast<index_t>(cols), std::move(ts));
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream is(path);
+  DNNSPMV_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return read_matrix_market(is);
+}
+
+void write_matrix_market(std::ostream& os, const Csr& a) {
+  os.precision(17);  // round-trip exact doubles
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << a.rows << ' ' << a.cols << ' ' << a.nnz() << '\n';
+  for (index_t r = 0; r < a.rows; ++r)
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j)
+      os << (r + 1) << ' ' << (a.idx[j] + 1) << ' ' << a.val[j] << '\n';
+  DNNSPMV_CHECK_MSG(os.good(), "MatrixMarket write failed");
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& a) {
+  std::ofstream os(path);
+  DNNSPMV_CHECK_MSG(os.is_open(), "cannot open " << path << " for write");
+  write_matrix_market(os, a);
+}
+
+}  // namespace dnnspmv

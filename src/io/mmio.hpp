@@ -1,0 +1,21 @@
+// Matrix Market I/O (coordinate format).
+//
+// Supports the subset SuiteSparse matrices use for SpMV studies: real /
+// integer / pattern fields, general / symmetric / skew-symmetric symmetry.
+// Pattern entries get value 1.0; symmetric entries are mirrored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace dnnspmv {
+
+Csr read_matrix_market(std::istream& is);
+Csr read_matrix_market_file(const std::string& path);
+
+void write_matrix_market(std::ostream& os, const Csr& a);
+void write_matrix_market_file(const std::string& path, const Csr& a);
+
+}  // namespace dnnspmv

@@ -1,0 +1,46 @@
+#include "ml/crossval.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+std::vector<FoldSplit> stratified_kfold(
+    const std::vector<std::int32_t>& labels, int k, std::uint64_t seed) {
+  DNNSPMV_CHECK(k >= 2 && labels.size() >= static_cast<std::size_t>(k));
+  const std::int32_t num_classes =
+      *std::max_element(labels.begin(), labels.end()) + 1;
+
+  // Shuffle within each class, then deal samples round-robin into folds.
+  Rng rng(seed);
+  std::vector<std::vector<std::int32_t>> by_class(
+      static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[static_cast<std::size_t>(labels[i])].push_back(
+        static_cast<std::int32_t>(i));
+  std::vector<std::vector<std::int32_t>> fold_members(
+      static_cast<std::size_t>(k));
+  for (auto& cls : by_class) {
+    std::shuffle(cls.begin(), cls.end(), rng);
+    for (std::size_t i = 0; i < cls.size(); ++i)
+      fold_members[i % static_cast<std::size_t>(k)].push_back(cls[i]);
+  }
+
+  std::vector<FoldSplit> folds(static_cast<std::size_t>(k));
+  for (int f = 0; f < k; ++f) {
+    FoldSplit& split = folds[static_cast<std::size_t>(f)];
+    split.test = fold_members[static_cast<std::size_t>(f)];
+    std::sort(split.test.begin(), split.test.end());
+    for (int g = 0; g < k; ++g) {
+      if (g == f) continue;
+      split.train.insert(split.train.end(),
+                         fold_members[static_cast<std::size_t>(g)].begin(),
+                         fold_members[static_cast<std::size_t>(g)].end());
+    }
+    std::sort(split.train.begin(), split.train.end());
+  }
+  return folds;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,21 @@
+// Stratified k-fold cross-validation splits (paper §7.1 uses 5-fold CV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dnnspmv {
+
+struct FoldSplit {
+  std::vector<std::int32_t> train;
+  std::vector<std::int32_t> test;
+};
+
+/// Produces k folds stratified by label so rare classes appear in every
+/// test set with their corpus-level frequency.
+std::vector<FoldSplit> stratified_kfold(const std::vector<std::int32_t>& labels,
+                                        int k, std::uint64_t seed);
+
+}  // namespace dnnspmv

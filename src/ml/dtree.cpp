@@ -1,0 +1,154 @@
+#include "ml/dtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+namespace {
+
+double gini_from_counts(const std::vector<std::int64_t>& counts,
+                        std::int64_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (std::int64_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+std::int32_t majority(const std::vector<std::int64_t>& counts) {
+  return static_cast<std::int32_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<std::int32_t>& y,
+                       const DTreeConfig& cfg) {
+  DNNSPMV_CHECK(!x.empty() && x.size() == y.size());
+  num_classes_ = cfg.num_classes;
+  if (num_classes_ == 0)
+    num_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  for (std::int32_t label : y)
+    DNNSPMV_CHECK_MSG(label >= 0 && label < num_classes_,
+                      "label " << label << " out of range");
+  nodes_.clear();
+  std::vector<std::int32_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  build(x, y, idx, 0, static_cast<int>(x.size()), 0, cfg);
+}
+
+std::int32_t DecisionTree::build(const std::vector<std::vector<double>>& x,
+                                 const std::vector<std::int32_t>& y,
+                                 std::vector<std::int32_t>& idx, int lo,
+                                 int hi, int depth, const DTreeConfig& cfg) {
+  const int n = hi - lo;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (int i = lo; i < hi; ++i) ++counts[static_cast<std::size_t>(y[idx[i]])];
+  const double node_gini = gini_from_counts(counts, n);
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].label = majority(counts);
+
+  if (depth >= cfg.max_depth || n < 2 * cfg.min_leaf || node_gini == 0.0)
+    return node_id;
+
+  // Exhaustive best split: for each feature, sort the index range by that
+  // feature and sweep the boundary.
+  const int d = static_cast<int>(x[0].size());
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+  std::vector<std::int32_t> work(idx.begin() + lo, idx.begin() + hi);
+  for (int f = 0; f < d; ++f) {
+    std::sort(work.begin(), work.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                return x[a][f] < x[b][f];
+              });
+    std::vector<std::int64_t> left(
+        static_cast<std::size_t>(num_classes_), 0);
+    std::vector<std::int64_t> right = counts;
+    for (int i = 0; i + 1 < n; ++i) {
+      const std::int32_t s = work[i];
+      ++left[static_cast<std::size_t>(y[s])];
+      --right[static_cast<std::size_t>(y[s])];
+      if (i + 1 < cfg.min_leaf || n - i - 1 < cfg.min_leaf) continue;
+      const double v = x[s][f];
+      const double vnext = x[work[i + 1]][f];
+      if (v == vnext) continue;  // can't split between equal values
+      const double gl = gini_from_counts(left, i + 1);
+      const double gr = gini_from_counts(right, n - i - 1);
+      const double gain =
+          node_gini - (static_cast<double>(i + 1) * gl +
+                       static_cast<double>(n - i - 1) * gr) /
+                          static_cast<double>(n);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (v + vnext);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition idx[lo, hi) in place by the chosen split.
+  const auto mid_it = std::stable_partition(
+      idx.begin() + lo, idx.begin() + hi, [&](std::int32_t s) {
+        return x[s][best_feature] <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return node_id;  // degenerate split
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const std::int32_t left_id = build(x, y, idx, lo, mid, depth + 1, cfg);
+  nodes_[node_id].left = left_id;
+  const std::int32_t right_id = build(x, y, idx, mid, hi, depth + 1, cfg);
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+std::int32_t DecisionTree::predict(const std::vector<double>& x) const {
+  DNNSPMV_CHECK_MSG(trained(), "predict on untrained tree");
+  std::int32_t cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<std::size_t>(cur)];
+    cur = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                  : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].label;
+}
+
+std::vector<std::int32_t> DecisionTree::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<std::int32_t> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::int32_t, int>> stack = {{0, 1}};
+  int best = 0;
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.feature >= 0) {
+      stack.push_back({nd.left, d + 1});
+      stack.push_back({nd.right, d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,52 @@
+// CART decision-tree classifier — the paper's baseline model family
+// (Li et al. [20], Sedaghati et al. [32] both use decision trees over
+// hand-crafted features).
+//
+// Gini-impurity splits over continuous features, depth/min-leaf stopping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dnnspmv {
+
+struct DTreeConfig {
+  int max_depth = 12;
+  int min_leaf = 4;
+  int num_classes = 0;  // inferred from labels when 0
+};
+
+class DecisionTree {
+ public:
+  /// Trains on row-major features [n x d] with integer labels.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<std::int32_t>& y, const DTreeConfig& cfg = {});
+
+  std::int32_t predict(const std::vector<double>& x) const;
+
+  std::vector<std::int32_t> predict(
+      const std::vector<std::vector<double>>& x) const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t label = 0;  // majority class (used at leaves)
+  };
+
+  std::int32_t build(const std::vector<std::vector<double>>& x,
+                     const std::vector<std::int32_t>& y,
+                     std::vector<std::int32_t>& idx, int lo, int hi,
+                     int depth, const DTreeConfig& cfg);
+
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,50 @@
+#include "ml/features.hpp"
+
+#include <cmath>
+
+namespace dnnspmv {
+namespace {
+
+double log1p_safe(double v) { return std::log1p(std::max(0.0, v)); }
+
+}  // namespace
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> kNames = {
+      "log_rows",      "log_cols",     "log_nnz",     "log_density",
+      "row_nnz_mean",  "row_nnz_sd",   "row_nnz_cv",  "row_nnz_max",
+      "max_over_mean", "empty_frac",   "log_ndiags",  "dia_fill",
+      "diag_frac",     "ell_fill",     "bsr_fill",    "mean_dist",
+  };
+  return kNames;
+}
+
+std::vector<double> extract_features(const MatrixStats& s) {
+  std::vector<double> f;
+  f.reserve(kNumFeatures);
+  f.push_back(log1p_safe(static_cast<double>(s.rows)));
+  f.push_back(log1p_safe(static_cast<double>(s.cols)));
+  f.push_back(log1p_safe(static_cast<double>(s.nnz)));
+  f.push_back(std::log(std::max(s.density, 1e-12)));
+  f.push_back(s.row_nnz_mean);
+  f.push_back(s.row_nnz_sd);
+  f.push_back(s.row_nnz_cv);
+  f.push_back(static_cast<double>(s.row_nnz_max));
+  f.push_back(s.max_over_mean);
+  f.push_back(s.rows > 0 ? static_cast<double>(s.empty_rows) /
+                               static_cast<double>(s.rows)
+                         : 0.0);
+  f.push_back(log1p_safe(static_cast<double>(s.ndiags)));
+  f.push_back(s.dia_fill);
+  f.push_back(s.diag_frac);
+  f.push_back(s.ell_fill);
+  f.push_back(s.bsr_fill);
+  f.push_back(s.mean_dist);
+  return f;
+}
+
+std::vector<double> extract_features(const Csr& a) {
+  return extract_features(compute_stats(a));
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,25 @@
+// Hand-crafted feature vector for the decision-tree baseline.
+//
+// These mirror the SMAT feature families (Li et al., PLDI'13 — the paper's
+// state-of-the-art comparator): size, density, row-length distribution,
+// diagonal structure, and format-specific padding ratios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/stats.hpp"
+
+namespace dnnspmv {
+
+constexpr int kNumFeatures = 16;
+
+/// Feature names, index-aligned with extract_features output.
+const std::vector<std::string>& feature_names();
+
+/// 16 scalar features; log-scaled where the raw value spans decades.
+std::vector<double> extract_features(const MatrixStats& s);
+
+std::vector<double> extract_features(const Csr& a);
+
+}  // namespace dnnspmv

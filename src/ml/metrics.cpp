@@ -1,0 +1,47 @@
+#include "ml/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+EvalResult evaluate(const std::vector<std::int32_t>& truth,
+                    const std::vector<std::int32_t>& pred, int num_classes) {
+  DNNSPMV_CHECK(truth.size() == pred.size() && !truth.empty());
+  EvalResult r;
+  r.confusion.assign(static_cast<std::size_t>(num_classes),
+                     std::vector<std::int64_t>(
+                         static_cast<std::size_t>(num_classes), 0));
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    DNNSPMV_CHECK(truth[i] >= 0 && truth[i] < num_classes);
+    DNNSPMV_CHECK(pred[i] >= 0 && pred[i] < num_classes);
+    ++r.confusion[static_cast<std::size_t>(truth[i])]
+                 [static_cast<std::size_t>(pred[i])];
+    if (truth[i] == pred[i]) ++correct;
+  }
+  r.accuracy = static_cast<double>(correct) /
+               static_cast<double>(truth.size());
+  r.per_class.resize(static_cast<std::size_t>(num_classes));
+  for (int c = 0; c < num_classes; ++c) {
+    std::int64_t row_sum = 0, col_sum = 0;
+    for (int j = 0; j < num_classes; ++j) {
+      row_sum += r.confusion[static_cast<std::size_t>(c)]
+                            [static_cast<std::size_t>(j)];
+      col_sum += r.confusion[static_cast<std::size_t>(j)]
+                            [static_cast<std::size_t>(c)];
+    }
+    ClassMetrics& m = r.per_class[static_cast<std::size_t>(c)];
+    m.ground_truth = row_sum;
+    const std::int64_t tp = r.confusion[static_cast<std::size_t>(c)]
+                                       [static_cast<std::size_t>(c)];
+    m.recall = row_sum > 0 ? static_cast<double>(tp) /
+                                 static_cast<double>(row_sum)
+                           : 0.0;
+    m.precision = col_sum > 0 ? static_cast<double>(tp) /
+                                    static_cast<double>(col_sum)
+                              : 0.0;
+  }
+  return r;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,25 @@
+// Classification metrics: the paper evaluates overall accuracy plus
+// per-format precision and recall (§7.2, Tables 2–3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dnnspmv {
+
+struct ClassMetrics {
+  std::int64_t ground_truth = 0;  // # samples whose true label is this class
+  double recall = 0.0;            // fraction of true-X predicted X
+  double precision = 0.0;         // fraction of predicted-X that are X
+};
+
+struct EvalResult {
+  double accuracy = 0.0;
+  std::vector<ClassMetrics> per_class;
+  std::vector<std::vector<std::int64_t>> confusion;  // [true][pred]
+};
+
+EvalResult evaluate(const std::vector<std::int32_t>& truth,
+                    const std::vector<std::int32_t>& pred, int num_classes);
+
+}  // namespace dnnspmv

@@ -1,0 +1,23 @@
+#include "nn/activation.hpp"
+
+namespace dnnspmv {
+
+void ReLU::forward(const Tensor& in, Tensor& out, bool) {
+  out.resize(in.shape());
+  const std::int64_t n = in.size();
+  const float* src = in.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void ReLU::backward(const Tensor& in, const Tensor&, const Tensor& grad_out,
+                    Tensor& grad_in) {
+  grad_in.resize(in.shape());
+  const std::int64_t n = in.size();
+  const float* src = in.data();
+  const float* go = grad_out.data();
+  float* gi = grad_in.data();
+  for (std::int64_t i = 0; i < n; ++i) gi[i] = src[i] > 0.0f ? go[i] : 0.0f;
+}
+
+}  // namespace dnnspmv

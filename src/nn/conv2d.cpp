@@ -1,0 +1,95 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+
+namespace dnnspmv {
+
+Conv2D::Conv2D(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t k, std::int64_t stride, std::int64_t pad,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      k_(k),
+      stride_(stride),
+      pad_(pad) {
+  DNNSPMV_CHECK(in_channels > 0 && out_channels > 0 && k > 0 && stride > 0 &&
+                pad >= 0);
+  const std::int64_t fan_in = in_channels * k * k;
+  weight_.name = "conv_w";
+  weight_.value.resize({out_channels, fan_in});
+  weight_.value.fill_normal(rng,
+                            static_cast<float>(std::sqrt(2.0 / fan_in)));
+  weight_.grad.resize({out_channels, fan_in});
+  bias_.name = "conv_b";
+  bias_.value.resize({out_channels});
+  bias_.grad.resize({out_channels});
+}
+
+ConvGeom Conv2D::geom(const std::vector<std::int64_t>& in_shape) const {
+  DNNSPMV_CHECK_MSG(in_shape.size() == 4 && in_shape[1] == in_channels_,
+                    "Conv2D expects NCHW with C=" << in_channels_);
+  return ConvGeom{in_shape[1], in_shape[2], in_shape[3], k_, k_,
+                  stride_,     stride_,     pad_,        pad_};
+}
+
+std::vector<std::int64_t> Conv2D::output_shape(
+    const std::vector<std::int64_t>& in) const {
+  const ConvGeom g = geom(in);
+  return {in[0], out_channels_, g.out_h(), g.out_w()};
+}
+
+void Conv2D::forward(const Tensor& in, Tensor& out, bool) {
+  const ConvGeom g = geom(in.shape());
+  const std::int64_t batch = in.dim(0);
+  const std::int64_t opix = g.out_h() * g.out_w();
+  const std::int64_t psz = g.patch_size();
+  out.resize(output_shape(in.shape()));
+
+  Tensor col({psz, opix});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    im2col(g, in.data() + n * g.channels * g.height * g.width, col.data());
+    float* dst = out.data() + n * out_channels_ * opix;
+    sgemm(out_channels_, opix, psz, 1.0f, weight_.value.data(), col.data(),
+          0.0f, dst);
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float b = bias_.value[oc];
+      float* row = dst + oc * opix;
+      for (std::int64_t p = 0; p < opix; ++p) row[p] += b;
+    }
+  }
+}
+
+void Conv2D::backward(const Tensor& in, const Tensor&, const Tensor& grad_out,
+                      Tensor& grad_in) {
+  const ConvGeom g = geom(in.shape());
+  const std::int64_t batch = in.dim(0);
+  const std::int64_t opix = g.out_h() * g.out_w();
+  const std::int64_t psz = g.patch_size();
+  const std::int64_t imsz = g.channels * g.height * g.width;
+  grad_in.resize(in.shape());
+
+  Tensor col({psz, opix});
+  Tensor gcol({psz, opix});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* go = grad_out.data() + n * out_channels_ * opix;
+    // dW += dOut * col^T  — re-lower the input instead of caching the
+    // (large) col matrix from forward.
+    im2col(g, in.data() + n * imsz, col.data());
+    sgemm_bt(out_channels_, psz, opix, 1.0f, go, col.data(), 1.0f,
+             weight_.grad.data());
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      double acc = 0.0;
+      const float* row = go + oc * opix;
+      for (std::int64_t p = 0; p < opix; ++p) acc += row[p];
+      bias_.grad[oc] += static_cast<float>(acc);
+    }
+    // dCol = W^T * dOut, then scatter back to the image.
+    sgemm_at(psz, opix, out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
+             gcol.data());
+    col2im(g, gcol.data(), grad_in.data() + n * imsz);
+  }
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,34 @@
+// 2-D convolution layer (NCHW), lowered to GEMM via im2col.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace dnnspmv {
+
+class Conv2D final : public Layer {
+ public:
+  /// Filters are out_channels × in_channels × k × k, He-initialized.
+  Conv2D(std::int64_t in_channels, std::int64_t out_channels, std::int64_t k,
+         std::int64_t stride, std::int64_t pad, Rng& rng);
+
+  void forward(const Tensor& in, Tensor& out, bool training) override;
+  void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                Tensor& grad_in) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "conv2d"; }
+  std::vector<std::int64_t> output_shape(
+      const std::vector<std::int64_t>& in) const override;
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+
+ private:
+  ConvGeom geom(const std::vector<std::int64_t>& in_shape) const;
+
+  std::int64_t in_channels_, out_channels_, k_, stride_, pad_;
+  Param weight_;  // [out_c, in_c*k*k]
+  Param bias_;    // [out_c]
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,31 @@
+#include "nn/dropout.hpp"
+
+#include <algorithm>
+
+namespace dnnspmv {
+
+void Dropout::forward(const Tensor& in, Tensor& out, bool training) {
+  out.resize(in.shape());
+  const std::int64_t n = in.size();
+  if (!training || rate_ == 0.0) {
+    std::copy(in.data(), in.data() + n, out.data());
+    mask_.assign(static_cast<std::size_t>(n), 1.0f);
+    return;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    mask_[i] = rng_.bernoulli(rate_) ? 0.0f : keep_scale;
+    out[i] = in[i] * mask_[i];
+  }
+}
+
+void Dropout::backward(const Tensor& in, const Tensor&,
+                       const Tensor& grad_out, Tensor& grad_in) {
+  grad_in.resize(in.shape());
+  const std::int64_t n = in.size();
+  DNNSPMV_CHECK(static_cast<std::int64_t>(mask_.size()) == n);
+  for (std::int64_t i = 0; i < n; ++i) grad_in[i] = grad_out[i] * mask_[i];
+}
+
+}  // namespace dnnspmv

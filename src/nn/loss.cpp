@@ -1,0 +1,61 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+void softmax(const Tensor& logits, Tensor& probs) {
+  DNNSPMV_CHECK(logits.rank() == 2);
+  probs.resize(logits.shape());
+  const std::int64_t batch = logits.dim(0), k = logits.dim(1);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* in = logits.data() + b * k;
+    float* out = probs.data() + b * k;
+    const float mx = *std::max_element(in, in + k);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      out[j] = std::exp(in[j] - mx);
+      sum += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t j = 0; j < k; ++j) out[j] *= inv;
+  }
+}
+
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<std::int32_t>& labels,
+                             Tensor& grad_logits) {
+  const std::int64_t batch = logits.dim(0), k = logits.dim(1);
+  DNNSPMV_CHECK(static_cast<std::int64_t>(labels.size()) == batch);
+  Tensor probs;
+  softmax(logits, probs);
+  grad_logits.resize(logits.shape());
+  double loss = 0.0;
+  const float inv_batch = static_cast<float>(1.0 / batch);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const std::int32_t y = labels[static_cast<std::size_t>(b)];
+    DNNSPMV_CHECK_MSG(y >= 0 && y < k, "label " << y << " out of range");
+    const float* p = probs.data() + b * k;
+    float* g = grad_logits.data() + b * k;
+    loss -= std::log(std::max(p[y], 1e-12f));
+    for (std::int64_t j = 0; j < k; ++j)
+      g[j] = (p[j] - (j == y ? 1.0f : 0.0f)) * inv_batch;
+  }
+  return loss / static_cast<double>(batch);
+}
+
+std::vector<std::int32_t> argmax_rows(const Tensor& logits) {
+  const std::int64_t batch = logits.dim(0), k = logits.dim(1);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(batch));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * k;
+    out[static_cast<std::size_t>(b)] = static_cast<std::int32_t>(
+        std::max_element(row, row + k) - row);
+  }
+  return out;
+}
+
+}  // namespace dnnspmv

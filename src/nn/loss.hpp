@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss (the paper's training objective, §7.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dnnspmv {
+
+/// Computes mean cross-entropy over a batch of logits [batch, classes]
+/// against integer labels, and writes d(loss)/d(logits) into grad_logits.
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<std::int32_t>& labels,
+                             Tensor& grad_logits);
+
+/// Row-wise softmax probabilities.
+void softmax(const Tensor& logits, Tensor& probs);
+
+/// Argmax class per row.
+std::vector<std::int32_t> argmax_rows(const Tensor& logits);
+
+}  // namespace dnnspmv

@@ -1,0 +1,93 @@
+#include "nn/merge_net.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dnnspmv {
+
+Sequential& MergeNet::add_tower() {
+  towers_.push_back(std::make_unique<Sequential>());
+  return *towers_.back();
+}
+
+void MergeNet::flatten_tower_outputs(Tensor& merged) {
+  const std::int64_t batch = tower_out_[0].dim(0);
+  std::int64_t total = 0;
+  std::vector<std::int64_t> feat(towers_.size());
+  for (std::size_t t = 0; t < towers_.size(); ++t) {
+    DNNSPMV_CHECK_MSG(tower_out_[t].dim(0) == batch,
+                      "tower batch mismatch");
+    feat[t] = tower_out_[t].size() / batch;
+    total += feat[t];
+  }
+  merged.resize({batch, total});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    float* dst = merged.data() + b * total;
+    for (std::size_t t = 0; t < towers_.size(); ++t) {
+      const float* src = tower_out_[t].data() + b * feat[t];
+      std::copy(src, src + feat[t], dst);
+      dst += feat[t];
+    }
+  }
+}
+
+void MergeNet::forward(const std::vector<Tensor>& inputs, Tensor& logits,
+                       bool training) {
+  DNNSPMV_CHECK_MSG(inputs.size() == towers_.size(),
+                    "expected " << towers_.size() << " inputs, got "
+                                << inputs.size());
+  tower_out_.resize(towers_.size());
+  for (std::size_t t = 0; t < towers_.size(); ++t)
+    towers_[t]->forward(inputs[t], tower_out_[t], training);
+  flatten_tower_outputs(merged_);
+  head_.forward(merged_, head_out_, training);
+  logits = head_out_;
+}
+
+void MergeNet::backward(const std::vector<Tensor>& inputs,
+                        const Tensor& grad_logits) {
+  Tensor grad_merged;
+  head_.backward(merged_, head_out_, grad_logits, grad_merged);
+
+  const std::int64_t batch = merged_.dim(0);
+  const std::int64_t total = merged_.dim(1);
+  for (std::size_t t = 0, off = 0; t < towers_.size(); ++t) {
+    const std::int64_t feat = tower_out_[t].size() / batch;
+    Tensor gslice(tower_out_[t].shape());
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float* src = grad_merged.data() + b * total + off;
+      std::copy(src, src + feat, gslice.data() + b * feat);
+    }
+    Tensor gin;  // input gradient unused — inputs are data, not activations
+    towers_[t]->backward(inputs[t], tower_out_[t], gslice, gin);
+    off += static_cast<std::size_t>(feat);
+  }
+}
+
+std::vector<Param*> MergeNet::params() {
+  std::vector<Param*> ps;
+  for (auto& t : towers_)
+    for (Param* p : t->params()) ps.push_back(p);
+  for (Param* p : head_.params()) ps.push_back(p);
+  return ps;
+}
+
+void MergeNet::freeze_towers() {
+  for (auto& t : towers_) t->set_frozen(true);
+  head_.set_frozen(false);
+}
+
+void MergeNet::unfreeze_all() {
+  for (auto& t : towers_) t->set_frozen(false);
+  head_.set_frozen(false);
+}
+
+void MergeNet::codes(const std::vector<Tensor>& inputs, Tensor& out) {
+  DNNSPMV_CHECK(inputs.size() == towers_.size());
+  tower_out_.resize(towers_.size());
+  for (std::size_t t = 0; t < towers_.size(); ++t)
+    towers_[t]->forward(inputs[t], tower_out_[t], /*training=*/false);
+  flatten_tower_outputs(out);
+}
+
+}  // namespace dnnspmv

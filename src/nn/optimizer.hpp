@@ -1,0 +1,51 @@
+// Gradient-descent optimizers. Frozen parameters are skipped, which is how
+// "top evolvement" transfer learning restricts training to the head.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dnnspmv {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ protected:
+  std::vector<Param*> params_;
+  double lr_ = 1e-3;
+};
+
+class SgdMomentum final : public Optimizer {
+ public:
+  SgdMomentum(std::vector<Param*> params, double lr, double momentum = 0.9,
+              double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,67 @@
+#include "nn/pool.hpp"
+
+#include <algorithm>
+
+namespace dnnspmv {
+
+std::vector<std::int64_t> MaxPool2D::output_shape(
+    const std::vector<std::int64_t>& in) const {
+  DNNSPMV_CHECK(in.size() == 4);
+  const std::int64_t oh = (in[2] - k_) / stride_ + 1;
+  const std::int64_t ow = (in[3] - k_) / stride_ + 1;
+  DNNSPMV_CHECK_MSG(oh > 0 && ow > 0, "pool window larger than input");
+  return {in[0], in[1], oh, ow};
+}
+
+void MaxPool2D::forward(const Tensor& in, Tensor& out, bool) {
+  const auto os = output_shape(in.shape());
+  out.resize(os);
+  const std::int64_t planes = in.dim(0) * in.dim(1);
+  const std::int64_t h = in.dim(2), w = in.dim(3);
+  const std::int64_t oh = os[2], ow = os[3];
+  argmax_.assign(static_cast<std::size_t>(out.size()), 0);
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t pl = 0; pl < planes; ++pl) {
+    const float* src = in.data() + pl * h * w;
+    float* dst = out.data() + pl * oh * ow;
+    std::int32_t* arg = argmax_.data() + pl * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float best = -1e30f;
+        std::int64_t besti = 0;
+        for (std::int64_t dy = 0; dy < k_; ++dy) {
+          const std::int64_t iy = y * stride_ + dy;
+          for (std::int64_t dx = 0; dx < k_; ++dx) {
+            const std::int64_t ix = x * stride_ + dx;
+            const std::int64_t idx = iy * w + ix;
+            if (src[idx] > best) {
+              best = src[idx];
+              besti = idx;
+            }
+          }
+        }
+        dst[y * ow + x] = best;
+        arg[y * ow + x] = static_cast<std::int32_t>(besti);
+      }
+    }
+  }
+}
+
+void MaxPool2D::backward(const Tensor& in, const Tensor& out,
+                         const Tensor& grad_out, Tensor& grad_in) {
+  grad_in.resize(in.shape());
+  grad_in.zero();
+  const std::int64_t planes = in.dim(0) * in.dim(1);
+  const std::int64_t h = in.dim(2), w = in.dim(3);
+  const std::int64_t opix = out.dim(2) * out.dim(3);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t pl = 0; pl < planes; ++pl) {
+    const float* go = grad_out.data() + pl * opix;
+    const std::int32_t* arg = argmax_.data() + pl * opix;
+    float* gi = grad_in.data() + pl * h * w;
+    for (std::int64_t p = 0; p < opix; ++p) gi[arg[p]] += go[p];
+  }
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,50 @@
+#include "nn/sequential.hpp"
+
+namespace dnnspmv {
+
+void Sequential::forward(const Tensor& in, Tensor& out, bool training) {
+  DNNSPMV_CHECK_MSG(!layers_.empty(), "empty Sequential");
+  acts_.resize(layers_.size());
+  const Tensor* cur = &in;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(*cur, acts_[i], training);
+    cur = &acts_[i];
+  }
+  out = acts_.back();
+}
+
+void Sequential::backward(const Tensor& in, const Tensor&,
+                          const Tensor& grad_out, Tensor& grad_in) {
+  DNNSPMV_CHECK_MSG(acts_.size() == layers_.size(),
+                    "backward without matching forward");
+  Tensor grad = grad_out;
+  Tensor next;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& input = (i == 0) ? in : acts_[i - 1];
+    layers_[i]->backward(input, acts_[i], grad, next);
+    grad = std::move(next);
+    next = Tensor();
+  }
+  grad_in = std::move(grad);
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> ps;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) ps.push_back(p);
+  return ps;
+}
+
+std::vector<std::int64_t> Sequential::output_shape(
+    const std::vector<std::int64_t>& in) const {
+  std::vector<std::int64_t> s = in;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+void Sequential::set_frozen(bool frozen) {
+  for (auto& l : layers_)
+    for (Param* p : l->params()) p->frozen = frozen;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,45 @@
+// Sequential container: a linear stack of layers with cached activations so
+// backward can replay the forward pass.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace dnnspmv {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  void forward(const Tensor& in, Tensor& out, bool training) override;
+  void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                Tensor& grad_in) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "sequential"; }
+  std::vector<std::int64_t> output_shape(
+      const std::vector<std::int64_t>& in) const override;
+
+  /// Sets the frozen flag on every parameter in this stack.
+  void set_frozen(bool frozen);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Tensor> acts_;  // activations: acts_[i] = output of layer i
+};
+
+}  // namespace dnnspmv

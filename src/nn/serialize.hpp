@@ -1,0 +1,30 @@
+// Binary weight (de)serialization.
+//
+// Weights are written in parameter-walk order with shapes, so a file can be
+// loaded back into any network with an identical architecture — including a
+// freshly constructed one on another "machine", which is what the transfer-
+// learning migration drivers do.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dnnspmv {
+
+void save_params(std::ostream& os, const std::vector<Param*>& params);
+void load_params(std::istream& is, const std::vector<Param*>& params);
+
+void save_params_file(const std::string& path,
+                      const std::vector<Param*>& params);
+void load_params_file(const std::string& path,
+                      const std::vector<Param*>& params);
+
+/// Copies values (not gradients) from src into dst; shapes must match
+/// pairwise. Used to warm-start "continuous evolvement".
+void copy_params(const std::vector<Param*>& src,
+                 const std::vector<Param*>& dst);
+
+}  // namespace dnnspmv

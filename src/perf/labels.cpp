@@ -1,0 +1,59 @@
+#include "perf/labels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "sparse/spmv.hpp"
+
+namespace dnnspmv {
+
+std::int32_t best_format_index(const std::vector<double>& times) {
+  DNNSPMV_CHECK(!times.empty());
+  std::int32_t best = -1;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!std::isfinite(times[i])) continue;
+    if (best < 0 || times[i] < times[static_cast<std::size_t>(best)])
+      best = static_cast<std::int32_t>(i);
+  }
+  DNNSPMV_CHECK_MSG(best >= 0, "no feasible format");
+  return best;
+}
+
+std::vector<LabeledMatrix> collect_labels(
+    const std::vector<CorpusEntry>& corpus, const Platform& platform) {
+  std::vector<LabeledMatrix> out;
+  out.reserve(corpus.size());
+  for (const CorpusEntry& e : corpus) {
+    LabeledMatrix lm;
+    lm.matrix = &e.matrix;
+    lm.gen_class = e.gen_class;
+    lm.format_times = platform.spmv_times(e.matrix);
+    lm.label = best_format_index(lm.format_times);
+    out.push_back(std::move(lm));
+  }
+  return out;
+}
+
+std::vector<LabeledMatrix> collect_labels_amortized(
+    const std::vector<CorpusEntry>& corpus, const Platform& platform,
+    std::int64_t expected_iterations) {
+  DNNSPMV_CHECK(expected_iterations > 0);
+  std::vector<LabeledMatrix> out = collect_labels(corpus, platform);
+  const auto& formats = platform.formats();
+  for (LabeledMatrix& lm : out) {
+    for (std::size_t f = 0; f < formats.size(); ++f) {
+      if (!std::isfinite(lm.format_times[f])) continue;
+      Timer t;
+      const auto converted = AnyFormatMatrix::convert(*lm.matrix, formats[f]);
+      const double conv = t.seconds();
+      if (!converted) continue;  // platform already priced it as feasible
+      lm.format_times[f] +=
+          conv / static_cast<double>(expected_iterations);
+    }
+    lm.label = best_format_index(lm.format_times);
+  }
+  return out;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,39 @@
+// Label collection: step 1 of the paper's construction pipeline (Figure 3).
+// For every corpus matrix, obtain per-format SpMV times from a Platform and
+// record the argmin format as the training label.
+#pragma once
+
+#include <vector>
+
+#include "gen/corpus.hpp"
+#include "perf/platform.hpp"
+
+namespace dnnspmv {
+
+struct LabeledMatrix {
+  const Csr* matrix = nullptr;        // borrowed from the corpus
+  GenClass gen_class = GenClass::kDerived;
+  std::vector<double> format_times;   // aligned with platform.formats()
+  std::int32_t label = 0;             // argmin index
+};
+
+/// Index of the fastest finite time; ties break toward the lower index.
+std::int32_t best_format_index(const std::vector<double>& times);
+
+/// Labels the whole corpus on `platform`.
+std::vector<LabeledMatrix> collect_labels(
+    const std::vector<CorpusEntry>& corpus, const Platform& platform);
+
+/// On-the-fly labelling (paper §7.6): when matrices are generated and
+/// consumed within one execution, the conversion cost must be charged to
+/// the format, amortized over the expected number of SpMV calls. The
+/// effective per-iteration time becomes
+///     t_fmt + conversion_seconds(fmt) / expected_iterations,
+/// with conversion measured by really converting with this library. With
+/// few expected iterations the labels shift toward cheap-to-build formats
+/// (COO/CSR); as iterations grow they converge to collect_labels.
+std::vector<LabeledMatrix> collect_labels_amortized(
+    const std::vector<CorpusEntry>& corpus, const Platform& platform,
+    std::int64_t expected_iterations);
+
+}  // namespace dnnspmv

@@ -1,0 +1,87 @@
+#include "sparse/bsr.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+Bsr bsr_from_csr(const Csr& a) {
+  Bsr m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.brows = (a.rows + kBsrBlock - 1) / kBsrBlock;
+  m.bcols = (a.cols + kBsrBlock - 1) / kBsrBlock;
+  m.ptr.assign(static_cast<std::size_t>(m.brows) + 1, 0);
+
+  // Pass 1: per block-row, the set of populated block columns.
+  for (index_t br = 0; br < m.brows; ++br) {
+    std::map<index_t, std::array<double, 16>> blocks;
+    const index_t r0 = br * kBsrBlock;
+    const index_t r1 = std::min<index_t>(a.rows, r0 + kBsrBlock);
+    for (index_t r = r0; r < r1; ++r) {
+      for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j) {
+        const index_t bc = a.idx[j] / kBsrBlock;
+        auto [it, inserted] = blocks.try_emplace(bc);
+        if (inserted) it->second.fill(0.0);
+        it->second[static_cast<std::size_t>((r - r0) * kBsrBlock +
+                                            (a.idx[j] - bc * kBsrBlock))] =
+            a.val[j];
+      }
+    }
+    m.ptr[br + 1] = m.ptr[br] + static_cast<std::int64_t>(blocks.size());
+    for (const auto& [bc, blk] : blocks) {
+      m.idx.push_back(bc);
+      m.data.insert(m.data.end(), blk.begin(), blk.end());
+    }
+  }
+  return m;
+}
+
+Csr csr_from_bsr(const Bsr& a) {
+  std::vector<Triplet> ts;
+  for (index_t br = 0; br < a.brows; ++br) {
+    for (std::int64_t b = a.ptr[br]; b < a.ptr[br + 1]; ++b) {
+      const index_t bc = a.idx[b];
+      const double* blk = a.data.data() + b * kBsrBlock * kBsrBlock;
+      for (index_t i = 0; i < kBsrBlock; ++i) {
+        const index_t r = br * kBsrBlock + i;
+        if (r >= a.rows) break;
+        for (index_t j = 0; j < kBsrBlock; ++j) {
+          const index_t c = bc * kBsrBlock + j;
+          if (c >= a.cols) break;
+          const double v = blk[i * kBsrBlock + j];
+          if (v != 0.0) ts.push_back({r, c, v});
+        }
+      }
+    }
+  }
+  return csr_from_triplets(a.rows, a.cols, std::move(ts));
+}
+
+void spmv_bsr(const Bsr& a, std::span<const double> x, std::span<double> y) {
+  DNNSPMV_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  DNNSPMV_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  const double* xv = x.data();
+  double* yv = y.data();
+#pragma omp parallel for schedule(dynamic, 16)
+  for (index_t br = 0; br < a.brows; ++br) {
+    double acc[kBsrBlock] = {0.0, 0.0, 0.0, 0.0};
+    for (std::int64_t b = a.ptr[br]; b < a.ptr[br + 1]; ++b) {
+      const index_t c0 = a.idx[b] * kBsrBlock;
+      const double* blk = a.data.data() + b * kBsrBlock * kBsrBlock;
+      double xl[kBsrBlock];
+      for (index_t j = 0; j < kBsrBlock; ++j)
+        xl[j] = (c0 + j < a.cols) ? xv[c0 + j] : 0.0;
+      for (index_t i = 0; i < kBsrBlock; ++i)
+        for (index_t j = 0; j < kBsrBlock; ++j)
+          acc[i] += blk[i * kBsrBlock + j] * xl[j];
+    }
+    const index_t r0 = br * kBsrBlock;
+    for (index_t i = 0; i < kBsrBlock && r0 + i < a.rows; ++i)
+      yv[r0 + i] = acc[i];
+  }
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,46 @@
+// Block Sparse Row with fixed 4×4 blocks (the paper's GPU BSR setting,
+// §7.2 footnote). Rows/cols are padded up to a multiple of the block size
+// logically; physical vectors x/y keep the original lengths.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dnnspmv {
+
+constexpr index_t kBsrBlock = 4;
+
+struct Bsr {
+  index_t rows = 0;   // original dims
+  index_t cols = 0;
+  index_t brows = 0;  // block-row count
+  index_t bcols = 0;
+  std::vector<std::int64_t> ptr;  // brows+1
+  std::vector<index_t> idx;       // block-column indices
+  std::vector<double> data;       // nblocks * 16, row-major within block
+
+  std::int64_t nblocks() const {
+    return static_cast<std::int64_t>(idx.size());
+  }
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data.size() * sizeof(double) +
+                                     idx.size() * sizeof(index_t) +
+                                     ptr.size() * sizeof(std::int64_t));
+  }
+  /// Fraction of stored block slots that hold actual nonzeros.
+  double fill_ratio(std::int64_t nnz) const {
+    return nblocks() == 0 ? 1.0
+                          : static_cast<double>(nnz) /
+                                static_cast<double>(nblocks() * kBsrBlock *
+                                                    kBsrBlock);
+  }
+};
+
+Bsr bsr_from_csr(const Csr& a);
+Csr csr_from_bsr(const Bsr& a);
+
+void spmv_bsr(const Bsr& a, std::span<const double> x, std::span<double> y);
+
+}  // namespace dnnspmv

@@ -1,0 +1,82 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+Coo coo_from_csr(const Csr& a) {
+  Coo m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.row.reserve(a.idx.size());
+  m.col = a.idx;
+  m.val = a.val;
+  for (index_t r = 0; r < a.rows; ++r)
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j)
+      m.row.push_back(r);
+  return m;
+}
+
+Csr csr_from_coo(const Coo& a) {
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(a.nnz()));
+  for (std::int64_t i = 0; i < a.nnz(); ++i)
+    ts.push_back({a.row[i], a.col[i], a.val[i]});
+  return csr_from_triplets(a.rows, a.cols, std::move(ts));
+}
+
+void spmv_coo(const Coo& a, std::span<const double> x, std::span<double> y) {
+  DNNSPMV_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  DNNSPMV_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  std::fill(y.begin(), y.end(), 0.0);
+  const std::int64_t nnz = a.nnz();
+  const index_t* rp = a.row.data();
+  const index_t* cp = a.col.data();
+  const double* vp = a.val.data();
+  const double* xv = x.data();
+  double* yv = y.data();
+
+#pragma omp parallel
+  {
+#ifdef _OPENMP
+    const int nt = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+#else
+    const int nt = 1;
+    const int tid = 0;
+#endif
+    const std::int64_t chunk = (nnz + nt - 1) / nt;
+    const std::int64_t lo = std::min<std::int64_t>(nnz, tid * chunk);
+    const std::int64_t hi = std::min<std::int64_t>(nnz, lo + chunk);
+    std::int64_t i = lo;
+    // Leading partial row: may be shared with the previous chunk.
+    if (i < hi) {
+      const index_t r0 = rp[i];
+      double acc = 0.0;
+      for (; i < hi && rp[i] == r0; ++i) acc += vp[i] * xv[cp[i]];
+#pragma omp atomic
+      yv[r0] += acc;
+    }
+    // Interior rows are exclusively owned.
+    while (i < hi) {
+      const index_t r = rp[i];
+      double acc = 0.0;
+      for (; i < hi && rp[i] == r; ++i) acc += vp[i] * xv[cp[i]];
+      if (i < hi) {
+        yv[r] = acc;  // row completed inside this chunk
+      } else {
+        // Trailing row may continue into the next chunk.
+#pragma omp atomic
+        yv[r] += acc;
+      }
+    }
+  }
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,33 @@
+// Coordinate format: explicit (row, col, val) arrays sorted by row, col.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dnnspmv {
+
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row;  // sorted by (row, col)
+  std::vector<index_t> col;
+  std::vector<double> val;
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(val.size()); }
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(val.size() * sizeof(double) +
+                                     (row.size() + col.size()) *
+                                         sizeof(index_t));
+  }
+};
+
+Coo coo_from_csr(const Csr& a);
+Csr csr_from_coo(const Coo& a);
+
+/// y = A*x. Parallel over nnz chunks; rows that straddle a chunk boundary
+/// are combined with atomics, interior rows are owned by one thread.
+void spmv_coo(const Coo& a, std::span<const double> x, std::span<double> y);
+
+}  // namespace dnnspmv

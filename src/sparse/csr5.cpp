@@ -1,0 +1,74 @@
+#include "sparse/csr5.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+Csr5 csr5_from_csr(const Csr& a, index_t tile) {
+  DNNSPMV_CHECK(tile > 0);
+  Csr5 m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.tile = tile;
+  m.ptr = a.ptr;
+  m.idx = a.idx;
+  m.val = a.val;
+  const std::int64_t ntiles = (a.nnz() + tile - 1) / tile;
+  m.tile_row.reserve(static_cast<std::size_t>(ntiles));
+  for (std::int64_t t = 0; t < ntiles; ++t) {
+    const std::int64_t first_nnz = t * tile;
+    // First row whose range contains first_nnz: upper_bound on ptr.
+    const auto it = std::upper_bound(a.ptr.begin(), a.ptr.end(), first_nnz);
+    m.tile_row.push_back(
+        static_cast<index_t>(it - a.ptr.begin()) - 1);
+  }
+  return m;
+}
+
+Csr csr_from_csr5(const Csr5& a) {
+  Csr m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.ptr = a.ptr;
+  m.idx = a.idx;
+  m.val = a.val;
+  return m;
+}
+
+void spmv_csr5(const Csr5& a, std::span<const double> x, std::span<double> y) {
+  DNNSPMV_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  DNNSPMV_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  std::fill(y.begin(), y.end(), 0.0);
+  const std::int64_t ntiles = a.num_tiles();
+  const std::int64_t nnz = a.nnz();
+  const double* xv = x.data();
+  const index_t* idx = a.idx.data();
+  const double* val = a.val.data();
+  const std::int64_t* ptr = a.ptr.data();
+  double* yv = y.data();
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t t = 0; t < ntiles; ++t) {
+    const std::int64_t lo = t * a.tile;
+    const std::int64_t hi = std::min(nnz, lo + a.tile);
+    index_t r = a.tile_row[static_cast<std::size_t>(t)];
+    std::int64_t j = lo;
+    while (j < hi) {
+      const std::int64_t row_end = std::min(hi, ptr[r + 1]);
+      double acc = 0.0;
+      for (; j < row_end; ++j) acc += val[j] * xv[idx[j]];
+      const bool row_complete_here = (lo <= ptr[r] && row_end == ptr[r + 1]);
+      if (row_complete_here) {
+        yv[r] = acc;  // this tile owns the whole row
+      } else if (acc != 0.0 || ptr[r] < lo || ptr[r + 1] > hi) {
+#pragma omp atomic
+        yv[r] += acc;  // partial row shared with a neighbouring tile
+      }
+      ++r;
+    }
+  }
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,45 @@
+// CSR5-lite: a tile-based, nonzero-balanced layout in the spirit of
+// Liu & Vinter's CSR5 (ICS'15).
+//
+// Nonzeros are cut into fixed-size tiles; each tile records the row range it
+// touches, so SpMV work is perfectly balanced over nonzeros regardless of
+// the row-length distribution (the property that makes CSR5 win on highly
+// irregular matrices). We keep the segmented-sum execution but skip the
+// original's bit-flag/transposed-tile packing micro-optimizations — see
+// DESIGN.md §6.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dnnspmv {
+
+struct Csr5 {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t tile = 0;                   // nonzeros per tile (last may be short)
+  std::vector<std::int64_t> ptr;      // CSR row pointer (kept for row lookup)
+  std::vector<index_t> idx;           // column indices, CSR order
+  std::vector<double> val;
+  std::vector<index_t> tile_row;      // first row touched by each tile
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(idx.size()); }
+  std::int64_t num_tiles() const {
+    return static_cast<std::int64_t>(tile_row.size());
+  }
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(val.size() * sizeof(double) +
+                                     idx.size() * sizeof(index_t) +
+                                     ptr.size() * sizeof(std::int64_t) +
+                                     tile_row.size() * sizeof(index_t));
+  }
+};
+
+Csr5 csr5_from_csr(const Csr& a, index_t tile = 256);
+Csr csr_from_csr5(const Csr5& a);
+
+void spmv_csr5(const Csr5& a, std::span<const double> x, std::span<double> y);
+
+}  // namespace dnnspmv

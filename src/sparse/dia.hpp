@@ -1,0 +1,41 @@
+// Diagonal format: one dense array per populated diagonal (paper Figure 1).
+//
+// data is stored diagonal-major: data[d * rows + i] = A(i, i + offset[d])
+// (zero-padded where the diagonal leaves the matrix). Conversion fails —
+// returns nullopt — when the padded footprint would exceed `max_fill`
+// times the nnz footprint, mirroring real libraries that refuse DIA for
+// matrices with too many scattered diagonals.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dnnspmv {
+
+struct Dia {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> offsets;  // sorted, diagonal = col - row
+  std::vector<double> data;      // offsets.size() * rows
+
+  std::int64_t ndiags() const {
+    return static_cast<std::int64_t>(offsets.size());
+  }
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data.size() * sizeof(double) +
+                                     offsets.size() * sizeof(index_t));
+  }
+};
+
+/// Default padded-footprint cap: padded elements / nnz.
+constexpr double kDiaMaxFill = 20.0;
+
+std::optional<Dia> dia_from_csr(const Csr& a, double max_fill = kDiaMaxFill);
+Csr csr_from_dia(const Dia& a);
+
+void spmv_dia(const Dia& a, std::span<const double> x, std::span<double> y);
+
+}  // namespace dnnspmv

@@ -1,0 +1,62 @@
+#include "sparse/ell.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+std::optional<Ell> ell_from_csr(const Csr& a, double max_fill) {
+  std::int64_t width = 0;
+  for (index_t r = 0; r < a.rows; ++r)
+    width = std::max(width, a.row_nnz(r));
+  const double padded = static_cast<double>(width) * a.rows;
+  if (a.nnz() > 0 && padded > max_fill * static_cast<double>(a.nnz()))
+    return std::nullopt;
+
+  Ell m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.width = static_cast<index_t>(width);
+  m.col.assign(static_cast<std::size_t>(width) * a.rows, -1);
+  m.data.assign(static_cast<std::size_t>(width) * a.rows, 0.0);
+  for (index_t r = 0; r < a.rows; ++r) {
+    std::int64_t w = 0;
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j, ++w) {
+      m.col[static_cast<std::size_t>(w) * a.rows + r] = a.idx[j];
+      m.data[static_cast<std::size_t>(w) * a.rows + r] = a.val[j];
+    }
+  }
+  return m;
+}
+
+Csr csr_from_ell(const Ell& a) {
+  std::vector<Triplet> ts;
+  for (index_t r = 0; r < a.rows; ++r) {
+    for (index_t w = 0; w < a.width; ++w) {
+      const index_t c = a.col[static_cast<std::size_t>(w) * a.rows + r];
+      if (c < 0) continue;
+      ts.push_back({r, c, a.data[static_cast<std::size_t>(w) * a.rows + r]});
+    }
+  }
+  return csr_from_triplets(a.rows, a.cols, std::move(ts));
+}
+
+void spmv_ell(const Ell& a, std::span<const double> x, std::span<double> y) {
+  DNNSPMV_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  DNNSPMV_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  const double* xv = x.data();
+  double* yv = y.data();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.rows; ++i) {
+    double acc = 0.0;
+    for (index_t w = 0; w < a.width; ++w) {
+      const index_t c = a.col[static_cast<std::size_t>(w) * a.rows + i];
+      if (c >= 0) acc += a.data[static_cast<std::size_t>(w) * a.rows + i] *
+                         xv[c];
+    }
+    yv[i] = acc;
+  }
+}
+
+}  // namespace dnnspmv

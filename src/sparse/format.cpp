@@ -1,0 +1,41 @@
+#include "sparse/format.hpp"
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+std::string format_name(Format f) {
+  switch (f) {
+    case Format::kCoo: return "COO";
+    case Format::kCsr: return "CSR";
+    case Format::kDia: return "DIA";
+    case Format::kEll: return "ELL";
+    case Format::kHyb: return "HYB";
+    case Format::kBsr: return "BSR";
+    case Format::kCsr5: return "CSR5";
+  }
+  DNNSPMV_CHECK_MSG(false, "invalid format id");
+}
+
+Format format_from_name(const std::string& name) {
+  for (std::int32_t i = 0; i < kNumFormats; ++i) {
+    const auto f = static_cast<Format>(i);
+    if (format_name(f) == name) return f;
+  }
+  DNNSPMV_CHECK_MSG(false, "unknown format name: " << name);
+}
+
+const std::vector<Format>& cpu_formats() {
+  static const std::vector<Format> kSet = {Format::kCoo, Format::kCsr,
+                                           Format::kDia, Format::kEll};
+  return kSet;
+}
+
+const std::vector<Format>& gpu_formats() {
+  static const std::vector<Format> kSet = {Format::kCsr, Format::kEll,
+                                           Format::kHyb, Format::kBsr,
+                                           Format::kCsr5, Format::kCoo};
+  return kSet;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,33 @@
+// Sparse storage format identifiers and the format sets each platform's
+// library supports (paper §7.1: SMATLib on CPU → COO/CSR/DIA/ELL;
+// cuSPARSE+CSR5 on GPU → COO/CSR/ELL/HYB/BSR/CSR5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnnspmv {
+
+enum class Format : std::int32_t {
+  kCoo = 0,
+  kCsr = 1,
+  kDia = 2,
+  kEll = 3,
+  kHyb = 4,
+  kBsr = 5,
+  kCsr5 = 6,
+};
+
+constexpr std::int32_t kNumFormats = 7;
+
+std::string format_name(Format f);
+Format format_from_name(const std::string& name);
+
+/// Formats selectable on the CPU platforms (SMATLib set).
+const std::vector<Format>& cpu_formats();
+
+/// Formats selectable on the GPU platform (cuSPARSE + CSR5 set).
+const std::vector<Format>& gpu_formats();
+
+}  // namespace dnnspmv

@@ -1,0 +1,74 @@
+#include "sparse/hyb.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+Hyb hyb_from_csr(const Csr& a, index_t width) {
+  if (width <= 0) {
+    // Histogram of row lengths; pick the smallest width such that at most a
+    // third of the rows still overflow.
+    std::vector<std::int64_t> lens;
+    lens.reserve(static_cast<std::size_t>(a.rows));
+    for (index_t r = 0; r < a.rows; ++r) lens.push_back(a.row_nnz(r));
+    std::vector<std::int64_t> sorted = lens;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t q = sorted.empty()
+                              ? 0
+                              : (sorted.size() * 2) / 3;  // 67th percentile
+    width = sorted.empty() ? 1
+                           : std::max<index_t>(
+                                 1, static_cast<index_t>(sorted[q]));
+  }
+
+  Hyb m;
+  m.ell.rows = a.rows;
+  m.ell.cols = a.cols;
+  m.ell.width = width;
+  m.ell.col.assign(static_cast<std::size_t>(width) * a.rows, -1);
+  m.ell.data.assign(static_cast<std::size_t>(width) * a.rows, 0.0);
+  m.coo.rows = a.rows;
+  m.coo.cols = a.cols;
+  for (index_t r = 0; r < a.rows; ++r) {
+    std::int64_t w = 0;
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j, ++w) {
+      if (w < width) {
+        m.ell.col[static_cast<std::size_t>(w) * a.rows + r] = a.idx[j];
+        m.ell.data[static_cast<std::size_t>(w) * a.rows + r] = a.val[j];
+      } else {
+        m.coo.row.push_back(r);
+        m.coo.col.push_back(a.idx[j]);
+        m.coo.val.push_back(a.val[j]);
+      }
+    }
+  }
+  return m;
+}
+
+Csr csr_from_hyb(const Hyb& a) {
+  std::vector<Triplet> ts;
+  const Csr ell_part = csr_from_ell(a.ell);
+  for (index_t r = 0; r < ell_part.rows; ++r)
+    for (std::int64_t j = ell_part.ptr[r]; j < ell_part.ptr[r + 1]; ++j)
+      ts.push_back({r, ell_part.idx[j], ell_part.val[j]});
+  for (std::int64_t i = 0; i < a.coo.nnz(); ++i)
+    ts.push_back({a.coo.row[i], a.coo.col[i], a.coo.val[i]});
+  return csr_from_triplets(a.ell.rows, a.ell.cols, std::move(ts));
+}
+
+void spmv_hyb(const Hyb& a, std::span<const double> x, std::span<double> y) {
+  spmv_ell(a.ell, x, y);  // writes y
+  if (a.coo.nnz() == 0) return;
+  // Accumulate overflow on top of the ELL result.
+  const index_t* rp = a.coo.row.data();
+  const index_t* cp = a.coo.col.data();
+  const double* vp = a.coo.val.data();
+  const double* xv = x.data();
+  double* yv = y.data();
+  const std::int64_t nnz = a.coo.nnz();
+  for (std::int64_t i = 0; i < nnz; ++i) yv[rp[i]] += vp[i] * xv[cp[i]];
+}
+
+}  // namespace dnnspmv

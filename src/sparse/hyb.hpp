@@ -1,0 +1,29 @@
+// Hybrid format (cuSPARSE-style): a regular ELL slab holding the "typical"
+// leading nonzeros per row plus a COO overflow for the irregular tail.
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "sparse/ell.hpp"
+
+namespace dnnspmv {
+
+struct Hyb {
+  Ell ell;  // width chosen so most nonzeros land here
+  Coo coo;  // overflow entries
+
+  std::int64_t nnz() const { return csr_from_ell(ell).nnz() + coo.nnz(); }
+  std::int64_t bytes() const { return ell.bytes() + coo.bytes(); }
+};
+
+/// Splits at `width` nonzeros per row; width<=0 picks the cuSPARSE-like
+/// heuristic (smallest w covering rows such that at most 1/3 of rows
+/// overflow, clamped to >=1).
+Hyb hyb_from_csr(const Csr& a, index_t width = 0);
+
+Csr csr_from_hyb(const Hyb& a);
+
+void spmv_hyb(const Hyb& a, std::span<const double> x, std::span<double> y);
+
+}  // namespace dnnspmv

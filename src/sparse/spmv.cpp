@@ -1,0 +1,80 @@
+#include "sparse/spmv.hpp"
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+std::optional<AnyFormatMatrix> AnyFormatMatrix::convert(const Csr& a,
+                                                        Format f) {
+  AnyFormatMatrix m;
+  m.format_ = f;
+  m.rows_ = a.rows;
+  m.cols_ = a.cols;
+  switch (f) {
+    case Format::kCoo:
+      m.storage_ = coo_from_csr(a);
+      return m;
+    case Format::kCsr:
+      m.storage_ = a;
+      return m;
+    case Format::kDia: {
+      auto d = dia_from_csr(a);
+      if (!d) return std::nullopt;
+      m.storage_ = std::move(*d);
+      return m;
+    }
+    case Format::kEll: {
+      auto e = ell_from_csr(a);
+      if (!e) return std::nullopt;
+      m.storage_ = std::move(*e);
+      return m;
+    }
+    case Format::kHyb:
+      m.storage_ = hyb_from_csr(a);
+      return m;
+    case Format::kBsr:
+      m.storage_ = bsr_from_csr(a);
+      return m;
+    case Format::kCsr5:
+      m.storage_ = csr5_from_csr(a);
+      return m;
+  }
+  DNNSPMV_CHECK_MSG(false, "invalid format");
+}
+
+std::int64_t AnyFormatMatrix::bytes() const {
+  return std::visit([](const auto& s) { return s.bytes(); }, storage_);
+}
+
+void AnyFormatMatrix::spmv(std::span<const double> x,
+                           std::span<double> y) const {
+  std::visit(
+      [&](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Coo>) spmv_coo(s, x, y);
+        else if constexpr (std::is_same_v<T, Csr>) spmv_csr(s, x, y);
+        else if constexpr (std::is_same_v<T, Dia>) spmv_dia(s, x, y);
+        else if constexpr (std::is_same_v<T, Ell>) spmv_ell(s, x, y);
+        else if constexpr (std::is_same_v<T, Hyb>) spmv_hyb(s, x, y);
+        else if constexpr (std::is_same_v<T, Bsr>) spmv_bsr(s, x, y);
+        else spmv_csr5(s, x, y);
+      },
+      storage_);
+}
+
+Csr AnyFormatMatrix::to_csr() const {
+  return std::visit(
+      [](const auto& s) -> Csr {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Coo>) return csr_from_coo(s);
+        else if constexpr (std::is_same_v<T, Csr>) return s;
+        else if constexpr (std::is_same_v<T, Dia>) return csr_from_dia(s);
+        else if constexpr (std::is_same_v<T, Ell>) return csr_from_ell(s);
+        else if constexpr (std::is_same_v<T, Hyb>) return csr_from_hyb(s);
+        else if constexpr (std::is_same_v<T, Bsr>) return csr_from_bsr(s);
+        else return csr_from_csr5(s);
+      },
+      storage_);
+}
+
+}  // namespace dnnspmv

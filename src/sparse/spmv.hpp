@@ -1,0 +1,47 @@
+// Format-generic SpMV: holds a matrix converted into any supported format
+// and dispatches the matching kernel. This is the "SpMV library" surface
+// the selector targets (paper §7.1).
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "sparse/bsr.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr5.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/format.hpp"
+#include "sparse/hyb.hpp"
+
+namespace dnnspmv {
+
+/// A matrix stored in one concrete format.
+class AnyFormatMatrix {
+ public:
+  /// Converts `a` into `f`. Returns nullopt when the format refuses the
+  /// matrix (DIA/ELL padding blow-up).
+  static std::optional<AnyFormatMatrix> convert(const Csr& a, Format f);
+
+  Format format() const { return format_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  /// Storage footprint of this representation in bytes.
+  std::int64_t bytes() const;
+
+  /// y = A*x with the format's kernel.
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// Back-conversion (for round-trip testing).
+  Csr to_csr() const;
+
+ private:
+  AnyFormatMatrix() = default;
+
+  Format format_ = Format::kCsr;
+  index_t rows_ = 0, cols_ = 0;
+  std::variant<Coo, Csr, Dia, Ell, Hyb, Bsr, Csr5> storage_;
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,117 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace dnnspmv {
+
+MatrixStats compute_stats(const Csr& a) {
+  MatrixStats s;
+  s.rows = a.rows;
+  s.cols = a.cols;
+  s.nnz = a.nnz();
+  if (a.rows == 0 || a.cols == 0) return s;
+  s.density = static_cast<double>(s.nnz) /
+              (static_cast<double>(a.rows) * static_cast<double>(a.cols));
+
+  // Row-length distribution.
+  double sum = 0.0, sumsq = 0.0;
+  s.row_nnz_min = s.nnz;
+  for (index_t r = 0; r < a.rows; ++r) {
+    const std::int64_t len = a.row_nnz(r);
+    sum += static_cast<double>(len);
+    sumsq += static_cast<double>(len) * static_cast<double>(len);
+    s.row_nnz_min = std::min(s.row_nnz_min, len);
+    s.row_nnz_max = std::max(s.row_nnz_max, len);
+    if (len == 0) ++s.empty_rows;
+  }
+  s.row_nnz_mean = sum / static_cast<double>(a.rows);
+  const double var =
+      std::max(0.0, sumsq / static_cast<double>(a.rows) -
+                        s.row_nnz_mean * s.row_nnz_mean);
+  s.row_nnz_sd = std::sqrt(var);
+  s.row_nnz_cv = s.row_nnz_mean > 0 ? s.row_nnz_sd / s.row_nnz_mean : 0.0;
+  s.max_over_mean = s.row_nnz_mean > 0
+                        ? static_cast<double>(s.row_nnz_max) / s.row_nnz_mean
+                        : 0.0;
+
+  // Diagonal structure + locality.
+  std::vector<bool> diag_seen(static_cast<std::size_t>(a.rows) + a.cols,
+                              false);
+  std::int64_t on_diag = 0;
+  double dist_sum = 0.0;
+  double gap_sum = 0.0;
+  std::int64_t gap_count = 0;
+  const double max_dim = static_cast<double>(std::max(a.rows, a.cols));
+  for (index_t r = 0; r < a.rows; ++r) {
+    index_t prev = -1;
+    for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j) {
+      const index_t c = a.idx[j];
+      const std::int64_t d = static_cast<std::int64_t>(c) - r;
+      diag_seen[static_cast<std::size_t>(d + a.rows - 1)] = true;
+      if (d == 0) ++on_diag;
+      dist_sum += static_cast<double>(std::llabs(d));
+      s.bandwidth = std::max<std::int64_t>(s.bandwidth, std::llabs(d));
+      if (prev >= 0) {
+        gap_sum += static_cast<double>(c - prev);
+        ++gap_count;
+      }
+      prev = c;
+    }
+  }
+  for (bool b : diag_seen) s.ndiags += b ? 1 : 0;
+  s.dia_fill = s.ndiags > 0 ? static_cast<double>(s.nnz) /
+                                  (static_cast<double>(s.ndiags) *
+                                   static_cast<double>(a.rows))
+                            : 0.0;
+  s.diag_frac =
+      s.nnz > 0 ? static_cast<double>(on_diag) / static_cast<double>(s.nnz)
+                : 0.0;
+  s.mean_dist = s.nnz > 0 ? dist_sum / static_cast<double>(s.nnz) / max_dim
+                          : 0.0;
+  s.col_gap = gap_count > 0 ? gap_sum / static_cast<double>(gap_count) /
+                                  static_cast<double>(a.cols)
+                            : 0.0;
+
+  s.ell_fill = (s.row_nnz_max > 0)
+                   ? static_cast<double>(s.nnz) /
+                         (static_cast<double>(a.rows) *
+                          static_cast<double>(s.row_nnz_max))
+                   : 0.0;
+
+  // BSR 4x4 block census without materializing blocks: count distinct
+  // (row/4, col/4) pairs per block-row stripe.
+  const index_t brows = (a.rows + 3) / 4;
+  std::int64_t nblocks = 0;
+  std::unordered_set<index_t> cols_in_stripe;
+  for (index_t br = 0; br < brows; ++br) {
+    cols_in_stripe.clear();
+    const index_t r0 = br * 4;
+    const index_t r1 = std::min<index_t>(a.rows, r0 + 4);
+    for (index_t r = r0; r < r1; ++r)
+      for (std::int64_t j = a.ptr[r]; j < a.ptr[r + 1]; ++j)
+        cols_in_stripe.insert(a.idx[j] / 4);
+    nblocks += static_cast<std::int64_t>(cols_in_stripe.size());
+  }
+  s.bsr_blocks = nblocks;
+  s.bsr_fill = nblocks > 0 ? static_cast<double>(s.nnz) /
+                                 (static_cast<double>(nblocks) * 16.0)
+                           : 0.0;
+
+  // HYB split at the 67th-percentile row length (matches hyb_from_csr).
+  {
+    std::vector<std::int64_t> lens;
+    lens.reserve(static_cast<std::size_t>(a.rows));
+    for (index_t r = 0; r < a.rows; ++r) lens.push_back(a.row_nnz(r));
+    std::sort(lens.begin(), lens.end());
+    const std::size_t q = (lens.size() * 2) / 3;
+    s.hyb_width = std::max<std::int64_t>(1, lens[q]);
+    for (std::int64_t len : lens)
+      s.hyb_tail += std::max<std::int64_t>(0, len - s.hyb_width);
+  }
+  return s;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,54 @@
+// Structural statistics of a sparse matrix.
+//
+// These feed (a) the hand-crafted feature vector of the decision-tree
+// baseline (SMAT-style, paper §7.1) and (b) the analytic platform cost
+// models. Computed in one pass over the CSR structure.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace dnnspmv {
+
+struct MatrixStats {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nnz = 0;
+  double density = 0.0;          // nnz / (rows*cols)
+
+  // Row-length distribution.
+  double row_nnz_mean = 0.0;
+  double row_nnz_sd = 0.0;
+  double row_nnz_cv = 0.0;       // sd / mean
+  std::int64_t row_nnz_min = 0;
+  std::int64_t row_nnz_max = 0;
+  double max_over_mean = 0.0;    // imbalance: max / mean row length
+  std::int64_t empty_rows = 0;
+
+  // Diagonal structure.
+  std::int64_t ndiags = 0;       // populated diagonals
+  double dia_fill = 0.0;         // nnz / (ndiags*rows): 1 = dense diagonals
+  double diag_frac = 0.0;        // fraction of nnz on the principal diagonal
+  double mean_dist = 0.0;        // mean |col-row| normalized by max dim
+  std::int64_t bandwidth = 0;    // max |col-row|
+
+  // Format-specific padding.
+  double ell_fill = 0.0;         // nnz / (rows*max_row_nnz): 1 = uniform rows
+  double bsr_fill = 0.0;         // nnz / (nblocks*16) with 4x4 blocks
+  std::int64_t bsr_blocks = 0;
+
+  // Column-access locality: mean index gap between neighbours in a row,
+  // normalized by cols (0 = perfectly clustered, →1 = scattered).
+  double col_gap = 0.0;
+
+  // HYB decomposition at the cuSPARSE-like heuristic width (67th
+  // percentile of row lengths, >=1): exact overflow count into the COO
+  // tail.
+  std::int64_t hyb_width = 1;
+  std::int64_t hyb_tail = 0;
+};
+
+MatrixStats compute_stats(const Csr& a);
+
+}  // namespace dnnspmv

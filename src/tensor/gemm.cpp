@@ -1,0 +1,77 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dnnspmv {
+namespace {
+
+constexpr std::int64_t kBlockK = 256;
+constexpr std::int64_t kBlockN = 512;
+
+// Scales a row-panel of C by beta before accumulation.
+void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+}
+
+}  // namespace
+
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k, k0 + kBlockK);
+      for (std::int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+        const std::int64_t n1 = std::min(n, n0 + kBlockN);
+        for (std::int64_t p = k0; p < k1; ++p) {
+          const float av = alpha * a[i * k + p];
+          if (av == 0.0f) continue;
+          const float* brow = b + p * n;
+          for (std::int64_t j = n0; j < n1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  // A is k×m: column i of the logical A^T is a strided walk; parallelize
+  // over output rows and stream B rows.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = alpha * a[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  // Dot-product form: both A rows and B rows are contiguous.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+  }
+}
+
+}  // namespace dnnspmv

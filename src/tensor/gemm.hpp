@@ -1,0 +1,24 @@
+// Single-precision GEMM kernels used by conv (im2col) and dense layers.
+//
+// C = alpha * op(A) * op(B) + beta * C with row-major storage. The kernel is
+// register-blocked and OpenMP-parallel over row panels — not MKL-fast, but
+// within the envelope needed to train the paper's CNNs on a CPU.
+#pragma once
+
+#include <cstdint>
+
+namespace dnnspmv {
+
+/// C[m,n] = alpha*A[m,k]*B[k,n] + beta*C. Row-major, no transposes.
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c);
+
+/// C[m,n] = alpha*A^T[k,m]*B[k,n] + beta*C (A stored k×m row-major).
+void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// C[m,n] = alpha*A[m,k]*B^T[n,k] + beta*C (B stored n×k row-major).
+void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+}  // namespace dnnspmv

@@ -1,0 +1,58 @@
+#include "tensor/im2col.hpp"
+
+#include <algorithm>
+
+namespace dnnspmv {
+
+void im2col(const ConvGeom& g, const float* im, float* col) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t ocols = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const float* imc = im + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out = col + row * ocols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride_h + kh - g.pad_h;
+          if (iy < 0 || iy >= g.height) {
+            std::fill(out + y * ow, out + (y + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* imrow = imc + iy * g.width;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride_w + kw - g.pad_w;
+            out[y * ow + x] =
+                (ix >= 0 && ix < g.width) ? imrow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeom& g, const float* col, float* im) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t ocols = oh * ow;
+  std::fill(im, im + g.channels * g.height * g.width, 0.0f);
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* imc = im + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = col + row * ocols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride_h + kh - g.pad_h;
+          if (iy < 0 || iy >= g.height) continue;
+          float* imrow = imc + iy * g.width;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride_w + kw - g.pad_w;
+            if (ix >= 0 && ix < g.width) imrow[ix] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,34 @@
+// im2col / col2im lowering for convolution.
+//
+// Maps a C×H×W image (one sample of an NCHW batch) to a matrix whose rows
+// are (C*kh*kw) filter-patch elements and whose columns are output pixels,
+// so conv forward becomes one GEMM per sample. col2im scatters gradients
+// back, accumulating where patches overlap.
+#pragma once
+
+#include <cstdint>
+
+namespace dnnspmv {
+
+struct ConvGeom {
+  std::int64_t channels, height, width;   // input
+  std::int64_t kernel_h, kernel_w;
+  std::int64_t stride_h, stride_w;
+  std::int64_t pad_h, pad_w;
+
+  std::int64_t out_h() const {
+    return (height + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  std::int64_t out_w() const {
+    return (width + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+  std::int64_t patch_size() const { return channels * kernel_h * kernel_w; }
+};
+
+/// im: C*H*W input sample; col: patch_size × (out_h*out_w) output matrix.
+void im2col(const ConvGeom& g, const float* im, float* col);
+
+/// Inverse scatter-accumulate: col gradients back into im (im zeroed first).
+void col2im(const ConvGeom& g, const float* col, float* im);
+
+}  // namespace dnnspmv

@@ -1,0 +1,108 @@
+#include "gen/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.hpp"
+
+namespace dnnspmv {
+namespace {
+
+TEST(Augment, CropExtractsExactWindow) {
+  const Csr a = csr_from_triplets(
+      4, 4, {{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}, {3, 3, 4.0}});
+  const Csr c = crop(a, 1, 1, 2, 2);
+  c.validate();
+  EXPECT_EQ(c.rows, 2);
+  EXPECT_EQ(c.cols, 2);
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_DOUBLE_EQ(c.val[0], 2.0);
+  EXPECT_DOUBLE_EQ(c.val[1], 3.0);
+}
+
+TEST(Augment, CropRejectsOutOfBounds) {
+  Rng rng(1);
+  const Csr a = gen_banded(10, 10, 1, 1.0, rng);
+  EXPECT_THROW(crop(a, 5, 0, 6, 5), std::runtime_error);
+  EXPECT_THROW(crop(a, 0, 0, 0, 5), std::runtime_error);
+}
+
+TEST(Augment, RandomCropRespectsMinFraction) {
+  Rng rng(2);
+  const Csr a = gen_uniform_rows(100, 100, 5, 0, rng);
+  for (int i = 0; i < 10; ++i) {
+    const Csr c = random_crop(a, 0.5, rng);
+    c.validate();
+    EXPECT_GE(c.rows, 50);
+    EXPECT_GE(c.cols, 50);
+    EXPECT_LE(c.rows, 100);
+  }
+}
+
+TEST(Augment, PermutePreservesNnzAndValueMultiset) {
+  Rng rng(3);
+  const Csr a = gen_powerlaw(50, 50, 5.0, 1.7, rng);
+  const Csr p = perturb_permute(a, 10, rng);
+  p.validate();
+  EXPECT_EQ(p.rows, a.rows);
+  EXPECT_EQ(p.cols, a.cols);
+  EXPECT_EQ(p.nnz(), a.nnz());
+  std::vector<double> va = a.val, vp = p.val;
+  std::sort(va.begin(), va.end());
+  std::sort(vp.begin(), vp.end());
+  EXPECT_EQ(va, vp);
+}
+
+TEST(Augment, PermuteZeroSwapsIsIdentity) {
+  Rng rng(4);
+  const Csr a = gen_banded(20, 20, 2, 0.9, rng);
+  const Csr p = perturb_permute(a, 0, rng);
+  EXPECT_TRUE(csr_equal(a, p, 0.0));
+}
+
+TEST(Augment, BlockDiagDimsAndNnzAdd) {
+  Rng rng(5);
+  const Csr a = gen_uniform_rows(10, 12, 3, 0, rng);
+  const Csr b = gen_uniform_rows(8, 6, 2, 0, rng);
+  const Csr d = block_diag(a, b);
+  d.validate();
+  EXPECT_EQ(d.rows, 18);
+  EXPECT_EQ(d.cols, 18);
+  EXPECT_EQ(d.nnz(), a.nnz() + b.nnz());
+  // B's entries shifted into the lower-right block.
+  EXPECT_EQ(crop(d, 10, 12, 8, 6).nnz(), b.nnz());
+  EXPECT_EQ(crop(d, 0, 12, 10, 6).nnz(), 0);
+}
+
+TEST(Augment, OverlayKeepsShapeOfFirst) {
+  Rng rng(6);
+  const Csr a = gen_uniform_rows(10, 10, 2, 0, rng);
+  const Csr b = gen_uniform_rows(20, 20, 3, 0, rng);
+  const Csr o = overlay(a, b);
+  o.validate();
+  EXPECT_EQ(o.rows, 10);
+  EXPECT_EQ(o.cols, 10);
+  EXPECT_GE(o.nnz(), a.nnz());
+}
+
+TEST(Augment, OverlaySumsCoincidentEntries) {
+  const Csr a = csr_from_triplets(2, 2, {{0, 0, 1.0}});
+  const Csr b = csr_from_triplets(2, 2, {{0, 0, 2.0}, {1, 1, 3.0}});
+  const Csr o = overlay(a, b);
+  EXPECT_EQ(o.nnz(), 2);
+  EXPECT_DOUBLE_EQ(o.val[0], 3.0);
+}
+
+TEST(Augment, ScaleValuesKeepsStructure) {
+  Rng rng(7);
+  const Csr a = gen_banded(15, 15, 1, 1.0, rng);
+  const Csr s = scale_values(a, -2.0);
+  EXPECT_EQ(s.idx, a.idx);
+  EXPECT_EQ(s.ptr, a.ptr);
+  for (std::size_t i = 0; i < a.val.size(); ++i)
+    EXPECT_DOUBLE_EQ(s.val[i], -2.0 * a.val[i]);
+}
+
+}  // namespace
+}  // namespace dnnspmv

@@ -1,0 +1,69 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace dnnspmv {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsWhenFlagAbsent) {
+  Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr", 0.5), 0.5);
+  EXPECT_EQ(cli.get_string("name", "x"), "x");
+  EXPECT_TRUE(cli.get_bool("flag", true));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli = make_cli({"--n", "7", "--lr", "0.25", "--name", "abc"});
+  EXPECT_EQ(cli.get_int("n", 0), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr", 0.0), 0.25);
+  EXPECT_EQ(cli.get_string("name", ""), "abc");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  Cli cli = make_cli({"--n=9", "--mode=hist"});
+  EXPECT_EQ(cli.get_int("n", 0), 9);
+  EXPECT_EQ(cli.get_string("mode", ""), "hist");
+}
+
+TEST(Cli, BareFlagIsBooleanTrue) {
+  Cli cli = make_cli({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, BoolParsesCommonSpellings) {
+  EXPECT_TRUE(make_cli({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(make_cli({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(make_cli({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(make_cli({"--a=false"}).get_bool("a", true));
+}
+
+TEST(Cli, RejectsNonFlagArgument) {
+  EXPECT_THROW(make_cli({"positional"}), std::runtime_error);
+}
+
+TEST(Cli, CheckUnusedThrowsOnTypo) {
+  Cli cli = make_cli({"--epochz", "3"});
+  EXPECT_THROW(cli.check_unused(), std::runtime_error);
+}
+
+TEST(Cli, CheckUnusedPassesWhenAllConsumed) {
+  Cli cli = make_cli({"--epochs", "3"});
+  EXPECT_EQ(cli.get_int("epochs", 0), 3);
+  EXPECT_NO_THROW(cli.check_unused());
+}
+
+}  // namespace
+}  // namespace dnnspmv

@@ -1,0 +1,92 @@
+#include "io/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace dnnspmv {
+namespace {
+
+Dataset make_dataset() {
+  Dataset ds;
+  ds.candidates = {Format::kCoo, Format::kCsr, Format::kDia, Format::kEll};
+  for (int i = 0; i < 5; ++i) {
+    Sample s;
+    Tensor t1({4, 4}), t2({4, 4});
+    for (std::int64_t j = 0; j < 16; ++j) {
+      t1[j] = static_cast<float>(i + j);
+      t2[j] = static_cast<float>(i * j);
+    }
+    s.inputs = {t1, t2};
+    s.features = {1.0 * i, 2.0 * i, 3.0};
+    s.format_times = {0.1, 0.2, 0.3, 0.4};
+    s.label = i % 4;
+    s.gen_class = i % 3;
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+TEST(DatasetIo, SaveLoadRoundTrip) {
+  const Dataset ds = make_dataset();
+  const std::string path = ::testing::TempDir() + "/ds_rt.bin";
+  ds.save(path);
+  const Dataset back = Dataset::load(path);
+  ASSERT_EQ(back.candidates, ds.candidates);
+  ASSERT_EQ(back.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Sample& a = ds.samples[i];
+    const Sample& b = back.samples[i];
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.gen_class, b.gen_class);
+    EXPECT_EQ(a.features, b.features);
+    EXPECT_EQ(a.format_times, b.format_times);
+    ASSERT_EQ(a.inputs.size(), b.inputs.size());
+    for (std::size_t s = 0; s < a.inputs.size(); ++s) {
+      ASSERT_EQ(a.inputs[s].shape(), b.inputs[s].shape());
+      for (std::int64_t j = 0; j < a.inputs[s].size(); ++j)
+        EXPECT_EQ(a.inputs[s][j], b.inputs[s][j]);
+    }
+  }
+}
+
+TEST(DatasetIo, LabelHistogram) {
+  const Dataset ds = make_dataset();  // labels 0,1,2,3,0
+  const auto h = ds.label_histogram();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 2);
+  EXPECT_EQ(h[1], 1);
+  EXPECT_EQ(h[2], 1);
+  EXPECT_EQ(h[3], 1);
+}
+
+TEST(DatasetIo, SubsetPicksIndices) {
+  const Dataset ds = make_dataset();
+  const Dataset sub = ds.subset({4, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.samples[0].label, ds.samples[4].label);
+  EXPECT_EQ(sub.samples[1].label, ds.samples[0].label);
+  EXPECT_EQ(sub.candidates, ds.candidates);
+}
+
+TEST(DatasetIo, SubsetRejectsBadIndex) {
+  const Dataset ds = make_dataset();
+  EXPECT_THROW(ds.subset({5}), std::runtime_error);
+  EXPECT_THROW(ds.subset({-1}), std::runtime_error);
+}
+
+TEST(DatasetIo, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/ds_bad.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a dataset";
+  }
+  EXPECT_THROW(Dataset::load(path), std::runtime_error);
+}
+
+TEST(DatasetIo, LoadRejectsMissingFile) {
+  EXPECT_THROW(Dataset::load("/nonexistent/ds.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dnnspmv

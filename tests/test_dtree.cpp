@@ -1,0 +1,132 @@
+#include "ml/dtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dnnspmv {
+namespace {
+
+TEST(DTree, FitsLinearlySeparableDataExactly) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::int32_t> y;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform(-1.0, 1.0);
+    x.push_back({v, rng.uniform(-1.0, 1.0)});
+    y.push_back(v > 0.0 ? 1 : 0);
+  }
+  DecisionTree t;
+  DTreeConfig cfg;
+  cfg.min_leaf = 1;
+  t.fit(x, y, cfg);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(t.predict(x[i]), y[i]);
+}
+
+TEST(DTree, XorNeedsDepthTwo) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::int32_t> y;
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-1.0, 1.0), b = rng.uniform(-1.0, 1.0);
+    x.push_back({a, b});
+    y.push_back((a > 0) != (b > 0) ? 1 : 0);
+  }
+  DecisionTree shallow, deep;
+  DTreeConfig c1;
+  c1.max_depth = 1;
+  c1.min_leaf = 1;
+  shallow.fit(x, y, c1);
+  DTreeConfig c2;
+  c2.max_depth = 4;
+  c2.min_leaf = 1;
+  deep.fit(x, y, c2);
+  int ok_shallow = 0, ok_deep = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ok_shallow += shallow.predict(x[i]) == y[i];
+    ok_deep += deep.predict(x[i]) == y[i];
+  }
+  EXPECT_LT(ok_shallow, 140);  // depth-1 stump cannot express XOR
+  EXPECT_GE(ok_deep, 185);
+}
+
+TEST(DTree, MulticlassGrid) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::int32_t> y;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.0, 3.0);
+    x.push_back({a});
+    y.push_back(static_cast<std::int32_t>(a));  // 3 classes by interval
+  }
+  DecisionTree t;
+  DTreeConfig cfg;
+  cfg.min_leaf = 1;
+  t.fit(x, y, cfg);
+  int ok = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) ok += t.predict(x[i]) == y[i];
+  EXPECT_GT(ok, 295);
+}
+
+TEST(DTree, RespectsMaxDepth) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::int32_t> y;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    x.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+    y.push_back(static_cast<std::int32_t>(rng.uniform_u64(2)));
+  }
+  DecisionTree t;
+  DTreeConfig cfg;
+  cfg.max_depth = 3;
+  cfg.min_leaf = 1;
+  t.fit(x, y, cfg);
+  EXPECT_LE(t.depth(), 4);  // depth counts nodes; root at 1
+}
+
+TEST(DTree, PureLabelsGiveSingleLeaf) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}};
+  std::vector<std::int32_t> y = {1, 1, 1};
+  DecisionTree t;
+  t.fit(x, y);
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.predict(std::vector<double>{99.0}), 1);
+}
+
+TEST(DTree, ConstantFeaturesFallBackToMajority) {
+  std::vector<std::vector<double>> x = {{1.0}, {1.0}, {1.0}, {1.0}};
+  std::vector<std::int32_t> y = {0, 1, 1, 1};
+  DecisionTree t;
+  t.fit(x, y);
+  EXPECT_EQ(t.predict(std::vector<double>{1.0}), 1);
+}
+
+TEST(DTree, PredictBeforeFitThrows) {
+  DecisionTree t;
+  EXPECT_THROW(t.predict(std::vector<double>{1.0}), std::runtime_error);
+}
+
+TEST(DTree, RejectsBadLabels) {
+  DecisionTree t;
+  DTreeConfig cfg;
+  cfg.num_classes = 2;
+  EXPECT_THROW(t.fit({{1.0}}, {5}, cfg), std::runtime_error);
+}
+
+TEST(DTree, BatchPredictMatchesScalar) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::int32_t> y;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    x.push_back({rng.uniform(-1.0, 1.0)});
+    y.push_back(x.back()[0] > 0 ? 1 : 0);
+  }
+  DecisionTree t;
+  t.fit(x, y);
+  const auto batch = t.predict(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(batch[i], t.predict(x[i]));
+}
+
+}  // namespace
+}  // namespace dnnspmv

@@ -1,0 +1,178 @@
+// Generator invariants: every generator yields a valid CSR with the
+// structural properties its class advertises.
+#include "gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/corpus.hpp"
+#include "sparse/stats.hpp"
+
+namespace dnnspmv {
+namespace {
+
+TEST(Gen, BandedStaysWithinBand) {
+  Rng rng(1);
+  const Csr a = gen_banded(100, 100, 5, 0.8, rng);
+  a.validate();
+  const MatrixStats s = compute_stats(a);
+  EXPECT_LE(s.bandwidth, 5);
+  EXPECT_GT(a.nnz(), 0);
+}
+
+TEST(Gen, BandedFullFillIsCompleteBand) {
+  Rng rng(2);
+  const Csr a = gen_banded(50, 50, 1, 1.0, rng);
+  // Tridiagonal: 3n - 2 entries.
+  EXPECT_EQ(a.nnz(), 3 * 50 - 2);
+}
+
+TEST(Gen, MultidiagHasRequestedDiagonalCount) {
+  Rng rng(3);
+  const Csr a = gen_multidiag(128, 128, 7, 1.0, rng);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_EQ(s.ndiags, 7);
+  EXPECT_GT(s.diag_frac, 0.0);  // principal diagonal always included
+}
+
+TEST(Gen, UniformRowsExactWhenNoJitter) {
+  Rng rng(4);
+  const Csr a = gen_uniform_rows(60, 80, 7, 0, rng);
+  for (index_t r = 0; r < a.rows; ++r) EXPECT_EQ(a.row_nnz(r), 7);
+}
+
+TEST(Gen, UniformRowsJitterBounded) {
+  Rng rng(5);
+  const Csr a = gen_uniform_rows(60, 80, 7, 2, rng);
+  for (index_t r = 0; r < a.rows; ++r) {
+    EXPECT_GE(a.row_nnz(r), 5);
+    EXPECT_LE(a.row_nnz(r), 9);
+  }
+}
+
+TEST(Gen, PowerLawIsSkewed) {
+  Rng rng(6);
+  const Csr a = gen_powerlaw(500, 500, 8.0, 1.4, rng);
+  a.validate();
+  const MatrixStats s = compute_stats(a);
+  EXPECT_GT(s.max_over_mean, 3.0);  // heavy tail
+  EXPECT_NEAR(s.row_nnz_mean, 8.0, 4.0);
+}
+
+TEST(Gen, BlockEntriesAlignToBlocks) {
+  Rng rng(7);
+  const Csr a = gen_block(64, 64, 2.0, 1.0, rng);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_NEAR(s.bsr_fill, 1.0, 1e-9);  // inner_fill=1 → dense blocks
+}
+
+TEST(Gen, HypersparseHasFewEntries) {
+  Rng rng(8);
+  const Csr a = gen_hypersparse(1000, 1000, 50, rng);
+  a.validate();
+  EXPECT_LE(a.nnz(), 50);  // duplicates may merge
+  EXPECT_GT(a.nnz(), 30);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_GT(s.empty_rows, 900);
+}
+
+TEST(Gen, DenseRowsCreatesSkew) {
+  Rng rng(9);
+  const Csr a = gen_dense_rows(100, 200, 4, 5, 150, rng);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_EQ(s.row_nnz_max, 150);
+  EXPECT_LT(s.row_nnz_mean, 15.0);
+}
+
+TEST(Gen, RmatDimsArePowerOfTwo) {
+  Rng rng(10);
+  const Csr a = gen_rmat(8, 2000, 0.45, 0.22, 0.22, rng);
+  EXPECT_EQ(a.rows, 256);
+  EXPECT_EQ(a.cols, 256);
+  a.validate();
+  const MatrixStats s = compute_stats(a);
+  EXPECT_GT(s.max_over_mean, 2.0);  // skewed by construction
+}
+
+TEST(Gen, GeneratorsAreSeedDeterministic) {
+  Rng r1(123), r2(123);
+  const Csr a = gen_powerlaw(100, 100, 6.0, 1.6, r1);
+  const Csr b = gen_powerlaw(100, 100, 6.0, 1.6, r2);
+  EXPECT_TRUE(csr_equal(a, b, 0.0));
+}
+
+TEST(Gen, ClassNamesAllDistinct) {
+  std::set<std::string> names;
+  for (std::int32_t i = 0; i < kNumGenClasses; ++i)
+    names.insert(gen_class_name(static_cast<GenClass>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumGenClasses));
+}
+
+TEST(Corpus, BuildsRequestedCountAllValid) {
+  CorpusSpec spec;
+  spec.count = 60;
+  spec.min_dim = 32;
+  spec.max_dim = 128;
+  spec.seed = 7;
+  const auto corpus = build_corpus(spec);
+  ASSERT_EQ(corpus.size(), 60u);
+  for (const auto& e : corpus) {
+    e.matrix.validate();
+    EXPECT_GE(e.matrix.rows, 1);
+  }
+}
+
+TEST(Corpus, SeedReproducible) {
+  CorpusSpec spec;
+  spec.count = 20;
+  spec.min_dim = 32;
+  spec.max_dim = 64;
+  const auto c1 = build_corpus(spec);
+  const auto c2 = build_corpus(spec);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].gen_class, c2[i].gen_class);
+    EXPECT_TRUE(csr_equal(c1[i].matrix, c2[i].matrix, 0.0));
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  CorpusSpec a, b;
+  a.count = b.count = 10;
+  a.min_dim = b.min_dim = 32;
+  a.max_dim = b.max_dim = 64;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ca = build_corpus(a);
+  const auto cb = build_corpus(b);
+  int identical = 0;
+  for (std::size_t i = 0; i < ca.size(); ++i)
+    if (ca[i].matrix.nnz() == cb[i].matrix.nnz()) ++identical;
+  EXPECT_LT(identical, 8);
+}
+
+TEST(Corpus, ContainsDerivedFraction) {
+  CorpusSpec spec;
+  spec.count = 100;
+  spec.min_dim = 32;
+  spec.max_dim = 96;
+  spec.derived_frac = 0.3;
+  const auto corpus = build_corpus(spec);
+  std::int64_t derived = 0;
+  for (const auto& e : corpus)
+    if (e.gen_class == GenClass::kDerived) ++derived;
+  EXPECT_NEAR(static_cast<double>(derived), 30.0, 2.0);
+}
+
+TEST(Corpus, CoversMultipleClasses) {
+  CorpusSpec spec;
+  spec.count = 200;
+  spec.min_dim = 32;
+  spec.max_dim = 128;
+  const auto corpus = build_corpus(spec);
+  std::set<GenClass> classes;
+  for (const auto& e : corpus) classes.insert(e.gen_class);
+  EXPECT_GE(classes.size(), 6u);
+}
+
+}  // namespace
+}  // namespace dnnspmv

@@ -1,0 +1,66 @@
+#include "perf/labels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+namespace dnnspmv {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Labels, BestIndexPicksMinimum) {
+  EXPECT_EQ(best_format_index({3.0, 1.0, 2.0}), 1);
+  EXPECT_EQ(best_format_index({0.5}), 0);
+}
+
+TEST(Labels, BestIndexSkipsInfinity) {
+  EXPECT_EQ(best_format_index({kInf, 5.0, kInf, 4.0}), 3);
+}
+
+TEST(Labels, BestIndexTieBreaksLow) {
+  EXPECT_EQ(best_format_index({2.0, 2.0, 3.0}), 0);
+}
+
+TEST(Labels, AllInfeasibleThrows) {
+  EXPECT_THROW(best_format_index({kInf, kInf}), std::runtime_error);
+  EXPECT_THROW(best_format_index({}), std::runtime_error);
+}
+
+TEST(Labels, CollectProducesOnePerMatrix) {
+  CorpusSpec spec;
+  spec.count = 30;
+  spec.min_dim = 32;
+  spec.max_dim = 128;
+  const auto corpus = build_corpus(spec);
+  const auto platform = make_analytic_cpu(intel_xeon_params());
+  const auto labeled = collect_labels(corpus, *platform);
+  ASSERT_EQ(labeled.size(), corpus.size());
+  for (std::size_t i = 0; i < labeled.size(); ++i) {
+    EXPECT_EQ(labeled[i].matrix, &corpus[i].matrix);
+    EXPECT_EQ(labeled[i].format_times.size(), platform->formats().size());
+    EXPECT_GE(labeled[i].label, 0);
+    EXPECT_LT(labeled[i].label,
+              static_cast<std::int32_t>(platform->formats().size()));
+    // Label really is the argmin.
+    EXPECT_EQ(labeled[i].label, best_format_index(labeled[i].format_times));
+  }
+}
+
+TEST(Labels, CorpusYieldsMultipleWinningFormats) {
+  // The learning task is only meaningful if several formats win somewhere.
+  CorpusSpec spec;
+  spec.count = 150;
+  spec.min_dim = 64;
+  spec.max_dim = 512;
+  const auto corpus = build_corpus(spec);
+  const auto platform = make_analytic_cpu(intel_xeon_params());
+  const auto labeled = collect_labels(corpus, *platform);
+  std::set<std::int32_t> winners;
+  for (const auto& lm : labeled) winners.insert(lm.label);
+  EXPECT_GE(winners.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dnnspmv

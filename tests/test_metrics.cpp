@@ -1,0 +1,110 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/crossval.hpp"
+
+namespace dnnspmv {
+namespace {
+
+TEST(Metrics, PerfectPrediction) {
+  const std::vector<std::int32_t> y = {0, 1, 2, 1, 0};
+  const EvalResult r = evaluate(y, y, 3);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  for (const auto& m : r.per_class) {
+    if (m.ground_truth > 0) {
+      EXPECT_DOUBLE_EQ(m.recall, 1.0);
+      EXPECT_DOUBLE_EQ(m.precision, 1.0);
+    }
+  }
+}
+
+TEST(Metrics, HandComputedPrecisionRecall) {
+  // truth:  0 0 1 1 1
+  // pred:   0 1 1 1 0
+  const EvalResult r = evaluate({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+  EXPECT_DOUBLE_EQ(r.accuracy, 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(r.per_class[0].recall, 0.5);       // 1 of 2 true 0s
+  EXPECT_DOUBLE_EQ(r.per_class[0].precision, 0.5);    // 1 of 2 predicted 0s
+  EXPECT_DOUBLE_EQ(r.per_class[1].recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.per_class[1].precision, 2.0 / 3.0);
+  EXPECT_EQ(r.per_class[0].ground_truth, 2);
+  EXPECT_EQ(r.per_class[1].ground_truth, 3);
+}
+
+TEST(Metrics, ConfusionMatrixEntries) {
+  const EvalResult r = evaluate({0, 0, 1}, {1, 0, 1}, 2);
+  EXPECT_EQ(r.confusion[0][0], 1);
+  EXPECT_EQ(r.confusion[0][1], 1);
+  EXPECT_EQ(r.confusion[1][0], 0);
+  EXPECT_EQ(r.confusion[1][1], 1);
+}
+
+TEST(Metrics, AbsentClassHasZeroMetrics) {
+  const EvalResult r = evaluate({0, 0}, {0, 0}, 3);
+  EXPECT_EQ(r.per_class[2].ground_truth, 0);
+  EXPECT_DOUBLE_EQ(r.per_class[2].recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.per_class[2].precision, 0.0);
+}
+
+TEST(Metrics, RejectsSizeMismatch) {
+  EXPECT_THROW(evaluate({0, 1}, {0}, 2), std::runtime_error);
+}
+
+TEST(Metrics, RejectsOutOfRangeLabel) {
+  EXPECT_THROW(evaluate({0, 5}, {0, 0}, 2), std::runtime_error);
+}
+
+// --- cross-validation ------------------------------------------------------
+
+std::vector<std::int32_t> skewed_labels(int n) {
+  std::vector<std::int32_t> y;
+  for (int i = 0; i < n; ++i) y.push_back(i % 10 == 0 ? 1 : 0);  // 10% rare
+  return y;
+}
+
+TEST(CrossVal, FoldsPartitionTheDataset) {
+  const auto y = skewed_labels(100);
+  const auto folds = stratified_kfold(y, 5, 42);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::int32_t> all_test;
+  for (const auto& f : folds) {
+    for (std::int32_t i : f.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "index " << i << " repeated";
+    }
+    EXPECT_EQ(f.train.size() + f.test.size(), y.size());
+    // train ∩ test = ∅
+    std::set<std::int32_t> tr(f.train.begin(), f.train.end());
+    for (std::int32_t i : f.test) EXPECT_FALSE(tr.count(i));
+  }
+  EXPECT_EQ(all_test.size(), y.size());
+}
+
+TEST(CrossVal, StratificationKeepsRareClassInEveryFold) {
+  const auto y = skewed_labels(100);
+  const auto folds = stratified_kfold(y, 5, 7);
+  for (const auto& f : folds) {
+    int rare = 0;
+    for (std::int32_t i : f.test) rare += y[static_cast<std::size_t>(i)];
+    EXPECT_EQ(rare, 2);  // 10 rare / 5 folds
+  }
+}
+
+TEST(CrossVal, SeedReproducible) {
+  const auto y = skewed_labels(60);
+  const auto a = stratified_kfold(y, 3, 9);
+  const auto b = stratified_kfold(y, 3, 9);
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a[f].test, b[f].test);
+    EXPECT_EQ(a[f].train, b[f].train);
+  }
+}
+
+TEST(CrossVal, RejectsTooFewSamples) {
+  EXPECT_THROW(stratified_kfold({0, 1}, 5, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dnnspmv

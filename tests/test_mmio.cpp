@@ -1,0 +1,127 @@
+#include "io/mmio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.hpp"
+
+namespace dnnspmv {
+namespace {
+
+TEST(Mmio, ParsesGeneralRealCoordinate) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "3 4 3\n"
+      "1 1 2.5\n"
+      "2 4 -1.0\n"
+      "3 2 7\n");
+  const Csr m = read_matrix_market(is);
+  m.validate();
+  EXPECT_EQ(m.rows, 3);
+  EXPECT_EQ(m.cols, 4);
+  EXPECT_EQ(m.nnz(), 3);
+  std::vector<double> x = {1, 0, 0, 0}, y(3, 0.0);
+  spmv_reference(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+}
+
+TEST(Mmio, PatternEntriesGetValueOne) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const Csr m = read_matrix_market(is);
+  EXPECT_DOUBLE_EQ(m.val[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.val[1], 1.0);
+}
+
+TEST(Mmio, SymmetricMirrorsOffDiagonal) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 1 5.0\n"
+      "3 2 6.0\n");
+  const Csr m = read_matrix_market(is);
+  EXPECT_EQ(m.nnz(), 5);  // diagonal stays single, off-diag mirrored
+  std::vector<double> x = {0, 1, 0}, y(3, 0.0);
+  spmv_reference(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);  // mirrored (1,2) entry
+  EXPECT_DOUBLE_EQ(y[2], 6.0);
+}
+
+TEST(Mmio, SkewSymmetricNegatesMirror) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const Csr m = read_matrix_market(is);
+  EXPECT_EQ(m.nnz(), 2);
+  std::vector<double> x = {0, 1}, y(2, 0.0);
+  spmv_reference(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -3.0);
+}
+
+TEST(Mmio, IntegerFieldAccepted) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 42\n");
+  const Csr m = read_matrix_market(is);
+  EXPECT_DOUBLE_EQ(m.val[0], 42.0);
+}
+
+TEST(Mmio, RejectsMissingBanner) {
+  std::istringstream is("3 3 0\n");
+  EXPECT_THROW(read_matrix_market(is), std::runtime_error);
+}
+
+TEST(Mmio, RejectsArrayFormat) {
+  std::istringstream is("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(is), std::runtime_error);
+}
+
+TEST(Mmio, RejectsOutOfBoundsEntry) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(is), std::runtime_error);
+}
+
+TEST(Mmio, RejectsTruncatedData) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(is), std::runtime_error);
+}
+
+TEST(Mmio, WriteReadRoundTrip) {
+  Rng rng(42);
+  const Csr a = gen_powerlaw(30, 25, 4.0, 1.7, rng);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const Csr b = read_matrix_market(ss);
+  EXPECT_TRUE(csr_equal(a, b, 1e-12));
+}
+
+TEST(Mmio, FileRoundTrip) {
+  Rng rng(43);
+  const Csr a = gen_banded(20, 20, 2, 0.9, rng);
+  const std::string path = ::testing::TempDir() + "/mmio_rt.mtx";
+  write_matrix_market_file(path, a);
+  const Csr b = read_matrix_market_file(path);
+  EXPECT_TRUE(csr_equal(a, b, 1e-12));
+}
+
+TEST(Mmio, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/x.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dnnspmv

@@ -1,0 +1,198 @@
+// Cost-model sanity: each analytic platform must rank formats the way the
+// literature (and the paper's Tables 2–3) says real machines do.
+#include "perf/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "perf/labels.hpp"
+
+namespace dnnspmv {
+namespace {
+
+std::int32_t cpu_best(const Platform& p, const Csr& a) {
+  return best_format_index(p.spmv_times(a));
+}
+
+Format fmt_of(const Platform& p, const Csr& a) {
+  return p.formats()[static_cast<std::size_t>(cpu_best(p, a))];
+}
+
+TEST(CpuModel, DiaWinsOnDenseBands) {
+  const auto p = make_analytic_cpu(intel_xeon_params());
+  Rng rng(1);
+  int dia_wins = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Csr a = gen_multidiag(512, 512, 5, 1.0, rng);
+    if (fmt_of(*p, a) == Format::kDia) ++dia_wins;
+  }
+  EXPECT_GE(dia_wins, 8);
+}
+
+TEST(CpuModel, CsrOrCooWinsOnPowerLaw) {
+  // Mildly skewed power-law rows: CSR usually wins; heavy tails can tip the
+  // static-partition makespan so far that COO's nnz-balanced kernel takes
+  // over. DIA/ELL never fit this shape.
+  const auto p = make_analytic_cpu(intel_xeon_params());
+  Rng rng(2);
+  int csr_wins = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Csr a = gen_powerlaw(512, 512, 8.0, 2.5, rng);
+    const Format f = fmt_of(*p, a);
+    EXPECT_TRUE(f == Format::kCsr || f == Format::kCoo)
+        << format_name(f) << " won a power-law matrix";
+    if (f == Format::kCsr) ++csr_wins;
+  }
+  EXPECT_GE(csr_wins, 6);
+}
+
+TEST(CpuModel, CooWinsOnHypersparse) {
+  const auto p = make_analytic_cpu(intel_xeon_params());
+  Rng rng(3);
+  int coo_wins = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Csr a = gen_hypersparse(4096, 4096, 200, rng);
+    if (fmt_of(*p, a) == Format::kCoo) ++coo_wins;
+  }
+  EXPECT_GE(coo_wins, 8);
+}
+
+TEST(CpuModel, EllCompetitiveOnUniformRows) {
+  const auto p = make_analytic_cpu(intel_xeon_params());
+  Rng rng(4);
+  int ell_wins = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Csr a = gen_uniform_rows(512, 512, 12, 0, rng);
+    if (fmt_of(*p, a) == Format::kEll) ++ell_wins;
+  }
+  EXPECT_GE(ell_wins, 10);  // perfectly uniform rows: ELL should often win
+}
+
+TEST(CpuModel, InfeasibleFormatsGetInfinity) {
+  const auto p = make_analytic_cpu(intel_xeon_params());
+  std::vector<Triplet> ts;
+  const index_t n = 300;
+  for (index_t i = 0; i < n; ++i) ts.push_back({i, (i * 53) % n, 1.0});
+  ts.push_back({0, 1, 1.0});
+  for (index_t c = 2; c < 200; ++c) ts.push_back({0, c, 1.0});  // long row 0
+  const Csr a = csr_from_triplets(n, n, std::move(ts));
+  const auto t = p->spmv_times(a);
+  EXPECT_TRUE(std::isinf(t[2]));  // DIA refused (scattered diagonals)
+  EXPECT_TRUE(std::isinf(t[3]));  // ELL refused (one dense row)
+  EXPECT_TRUE(std::isfinite(t[0]));
+  EXPECT_TRUE(std::isfinite(t[1]));
+}
+
+TEST(CpuModel, DeterministicTimes) {
+  const auto p = make_analytic_cpu(intel_xeon_params());
+  Rng rng(5);
+  const Csr a = gen_powerlaw(256, 256, 6.0, 1.6, rng);
+  EXPECT_EQ(p->spmv_times(a), p->spmv_times(a));
+}
+
+TEST(CpuModel, IntelAndAmdDisagreeSometimes) {
+  // The entire premise of the §6 migration study: labels differ across
+  // machines, but not completely.
+  const auto intel = make_analytic_cpu(intel_xeon_params());
+  const auto amd = make_analytic_cpu(amd_a8_params());
+  Rng rng(6);
+  int differ = 0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    Csr a;
+    switch (i % 3) {
+      case 0: a = gen_multidiag(512, 512, 6, 0.75, rng); break;
+      case 1: a = gen_uniform_rows(512, 512, 10, 1, rng); break;
+      default: a = gen_powerlaw(512, 512, 6.0, 1.7, rng); break;
+    }
+    if (cpu_best(*intel, a) != cpu_best(*amd, a)) ++differ;
+  }
+  EXPECT_GT(differ, 2);       // some labels flip across machines...
+  EXPECT_LT(differ, n - 10);  // ...but most carry over
+}
+
+TEST(GpuModel, CooNeverWins) {
+  // Paper Table 3: "format COO never wins on GPU".
+  const auto p = make_analytic_gpu(titan_x_params());
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    Csr a;
+    switch (i % 5) {
+      case 0: a = gen_banded(256, 256, 3, 0.9, rng); break;
+      case 1: a = gen_uniform_rows(256, 256, 8, 0, rng); break;
+      case 2: a = gen_powerlaw(256, 256, 6.0, 1.5, rng); break;
+      case 3: a = gen_block(256, 256, 3.0, 1.0, rng); break;
+      default: a = gen_hypersparse(256, 256, 40, rng); break;
+    }
+    EXPECT_NE(fmt_of(*p, a), Format::kCoo) << "iteration " << i;
+  }
+}
+
+TEST(GpuModel, BsrWinsOnBlockMatrices) {
+  const auto p = make_analytic_gpu(titan_x_params());
+  Rng rng(8);
+  int bsr_wins = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Csr a = gen_block(512, 512, 4.0, 1.0, rng);
+    if (fmt_of(*p, a) == Format::kBsr) ++bsr_wins;
+  }
+  EXPECT_GE(bsr_wins, 7);
+}
+
+TEST(GpuModel, Csr5BeatsCsrOnHighSkew) {
+  const auto p = make_analytic_gpu(titan_x_params());
+  Rng rng(9);
+  int csr5_faster = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Csr a = gen_dense_rows(1024, 1024, 4, 6, 700, rng);
+    const auto t = p->spmv_times(a);
+    // gpu_formats(): CSR=0, ..., CSR5=4.
+    if (t[4] < t[0]) ++csr5_faster;
+  }
+  EXPECT_GE(csr5_faster, 8);
+}
+
+TEST(GpuModel, EllWinsOnUniformRows) {
+  const auto p = make_analytic_gpu(titan_x_params());
+  Rng rng(10);
+  int ell_wins = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Csr a = gen_uniform_rows(1024, 1024, 16, 0, rng);
+    if (fmt_of(*p, a) == Format::kEll) ++ell_wins;
+  }
+  EXPECT_GE(ell_wins, 6);
+}
+
+TEST(MeasuredPlatform, TimesRealKernels) {
+  const auto p = make_measured(cpu_formats(), /*reps=*/2);
+  Rng rng(11);
+  const Csr a = gen_banded(256, 256, 2, 1.0, rng);
+  const auto t = p->spmv_times(a);
+  ASSERT_EQ(t.size(), 4u);
+  for (double v : t) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(MeasuredPlatform, ReportsInfinityForRefusedFormats) {
+  const auto p = make_measured({Format::kDia}, 1);
+  std::vector<Triplet> ts;
+  const index_t n = 300;
+  for (index_t i = 0; i < n; ++i) ts.push_back({i, (i * 53) % n, 1.0});
+  const Csr a = csr_from_triplets(n, n, std::move(ts));
+  EXPECT_TRUE(std::isinf(p->spmv_times(a)[0]));
+}
+
+TEST(MachineParams, MatchTable1) {
+  EXPECT_NEAR(intel_xeon_params().bandwidth_gbps, 103.0, 1e-9);
+  EXPECT_EQ(intel_xeon_params().cores, 24);
+  EXPECT_NEAR(amd_a8_params().bandwidth_gbps, 25.6, 1e-9);
+  EXPECT_EQ(amd_a8_params().cores, 4);
+  EXPECT_NEAR(titan_x_params().bandwidth_gbps, 168.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dnnspmv

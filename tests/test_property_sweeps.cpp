@@ -1,0 +1,117 @@
+// Cross-cutting property sweeps (TEST_P): corpus validity over spec
+// ranges, representation invariants over (mode × size), and k-fold
+// partition properties over k.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/represent.hpp"
+#include "gen/corpus.hpp"
+#include "ml/crossval.hpp"
+
+namespace dnnspmv {
+namespace {
+
+// --- corpus sweeps ----------------------------------------------------------
+
+class CorpusSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CorpusSweep, EveryMatrixValidAndInBounds) {
+  const auto [count, max_dim] = GetParam();
+  CorpusSpec spec;
+  spec.count = count;
+  spec.min_dim = 32;
+  spec.max_dim = static_cast<index_t>(max_dim);
+  spec.seed = static_cast<std::uint64_t>(count * 31 + max_dim);
+  const auto corpus = build_corpus(spec);
+  ASSERT_EQ(corpus.size(), static_cast<std::size_t>(count));
+  for (const auto& e : corpus) {
+    e.matrix.validate();
+    // block_diag derivations may double a dimension; nothing beyond that.
+    EXPECT_LE(e.matrix.rows, 2 * spec.max_dim);
+    EXPECT_LE(e.matrix.cols, 2 * spec.max_dim);
+    EXPECT_GE(e.matrix.rows, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CorpusSweep,
+                         ::testing::Combine(::testing::Values(10, 40),
+                                            ::testing::Values(64, 256,
+                                                              1024)));
+
+// --- representation sweeps --------------------------------------------------
+
+class RepSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RepSweep, InputsAreUnitRangeAndRightShape) {
+  const auto [mode_id, size] = GetParam();
+  const auto mode = static_cast<RepMode>(mode_id);
+  Rng rng(static_cast<std::uint64_t>(mode_id * 100 + size));
+  const Csr a = gen_powerlaw(200, 150, 6.0, 1.6, rng);
+  const std::int64_t bins = size / 2;
+  const auto inputs = make_inputs(a, mode, size, bins);
+  ASSERT_EQ(static_cast<int>(inputs.size()), rep_num_sources(mode));
+  for (const Tensor& t : inputs) {
+    ASSERT_EQ(t.rank(), 2u);
+    EXPECT_EQ(t.dim(0), size);
+    EXPECT_EQ(t.dim(1), mode == RepMode::kHistogram ? bins : size);
+    double mass = 0.0;
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+      EXPECT_GE(t[i], 0.0f);
+      EXPECT_LE(t[i], 1.0f);
+      mass += t[i];
+    }
+    EXPECT_GT(mass, 0.0) << "non-empty matrix must leave a trace";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModesAndSizes, RepSweep,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Values(16, 32, 64)));
+
+TEST_P(RepSweep, DeterministicForSameMatrix) {
+  const auto [mode_id, size] = GetParam();
+  const auto mode = static_cast<RepMode>(mode_id);
+  Rng rng(7);
+  const Csr a = gen_banded(128, 128, 3, 0.9, rng);
+  const auto in1 = make_inputs(a, mode, size, size / 2);
+  const auto in2 = make_inputs(a, mode, size, size / 2);
+  ASSERT_EQ(in1.size(), in2.size());
+  for (std::size_t s = 0; s < in1.size(); ++s)
+    for (std::int64_t i = 0; i < in1[s].size(); ++i)
+      EXPECT_EQ(in1[s][i], in2[s][i]);
+}
+
+// --- cross-validation sweeps ------------------------------------------------
+
+class KfoldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KfoldSweep, PartitionAndStratification) {
+  const int k = GetParam();
+  std::vector<std::int32_t> labels;
+  Rng rng(static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 210; ++i)
+    labels.push_back(static_cast<std::int32_t>(rng.uniform_u64(3)));
+  const auto folds = stratified_kfold(labels, k, 5);
+  ASSERT_EQ(folds.size(), static_cast<std::size_t>(k));
+  std::set<std::int32_t> all;
+  for (const auto& f : folds) {
+    for (std::int32_t i : f.test) EXPECT_TRUE(all.insert(i).second);
+    EXPECT_EQ(f.train.size() + f.test.size(), labels.size());
+  }
+  EXPECT_EQ(all.size(), labels.size());
+  // Each class appears in every fold's test set (210 >> 3k).
+  for (const auto& f : folds) {
+    std::set<std::int32_t> classes;
+    for (std::int32_t i : f.test)
+      classes.insert(labels[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(classes.size(), 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KfoldSweep, ::testing::Values(2, 3, 5, 7));
+
+}  // namespace
+}  // namespace dnnspmv

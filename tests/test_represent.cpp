@@ -1,0 +1,209 @@
+// Representation tests, including the paper's worked examples from §4
+// (Figures 4–5 and the Algorithm 1 walk-through).
+#include "core/represent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+
+namespace dnnspmv {
+namespace {
+
+TEST(Binary, MarksOccupiedBlocks) {
+  // 8x8 with nonzeros confined to the top-left 2x2 and bottom-right 2x2.
+  const Csr a = csr_from_triplets(8, 8, {{0, 1, 1.0}, {7, 6, 2.0}});
+  const Tensor b = binary_rep(a, 4);
+  EXPECT_FLOAT_EQ(b.at2(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(b.at2(3, 3), 1.0f);
+  float total = 0.0f;
+  for (std::int64_t i = 0; i < b.size(); ++i) total += b[i];
+  EXPECT_FLOAT_EQ(total, 2.0f);
+}
+
+TEST(Binary, ScalingLosesIrregularity) {
+  // The Figure 4 failure mode: an *irregular* wavy diagonal down-samples to
+  // the same binary image as a *perfect* diagonal.
+  std::vector<Triplet> wavy, perfect;
+  for (index_t i = 0; i < 8; ++i) {
+    perfect.push_back({i, i, 1.0});
+    // Wavy: odd rows shift one column left — stays inside the same 2x2
+    // down-sampling block as the diagonal, so binary cannot see it.
+    wavy.push_back({i, i - (i % 2), 1.0});
+  }
+  const Tensor bw = binary_rep(csr_from_triplets(8, 8, wavy), 4);
+  const Tensor bp = binary_rep(csr_from_triplets(8, 8, perfect), 4);
+  for (std::int64_t i = 0; i < bw.size(); ++i)
+    EXPECT_EQ(bw[i], bp[i]) << "binary reps should collide (paper Fig. 4)";
+  // ...but the distance histogram separates them (distance 1 vs 0 entries
+  // land in different bins once bins are finer than the block size).
+  const Tensor hw =
+      row_histogram_raw(csr_from_triplets(8, 8, wavy), 4, 8);
+  const Tensor hp =
+      row_histogram_raw(csr_from_triplets(8, 8, perfect), 4, 8);
+  bool differ = false;
+  for (std::int64_t i = 0; i < hw.size(); ++i) differ |= hw[i] != hp[i];
+  EXPECT_TRUE(differ) << "histogram must keep what scaling lost";
+}
+
+TEST(Density, ExactBlockRatios) {
+  // 2 nonzeros in one 2x2 block of an 8x8 matrix → density 0.5 (Fig. 5a).
+  const Csr a = csr_from_triplets(8, 8, {{0, 0, 1.0}, {1, 1, 1.0}});
+  const Tensor d = density_rep(a, 4);
+  EXPECT_FLOAT_EQ(d.at2(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(d.at2(1, 1), 0.0f);
+}
+
+TEST(Density, FullBlockIsOne) {
+  const Csr a = csr_from_triplets(
+      4, 4, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}});
+  const Tensor d = density_rep(a, 2);
+  EXPECT_FLOAT_EQ(d.at2(0, 0), 1.0f);
+}
+
+TEST(Density, NonDivisibleDimsStayInUnitRange) {
+  Rng rng(1);
+  const Csr a = gen_powerlaw(37, 23, 4.0, 1.6, rng);
+  const Tensor d = density_rep(a, 8);
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d[i], 0.0f);
+    EXPECT_LE(d[i], 1.0f);
+  }
+}
+
+TEST(Histogram, PaperAlgorithm1WalkThrough) {
+  // Paper §4: rows 6–7 of an 8×8 matrix; row 6 has one nonzero at distance
+  // 1, row 7 has nonzeros at distances 4 and 1. With r=4, BINS=4 the bottom
+  // histogram row must be [2, 0, 1, 0].
+  const Csr a = csr_from_triplets(
+      8, 8, {{6, 5, 23.0}, {7, 3, 17.0}, {7, 6, 11.0}});
+  const Tensor h = row_histogram_raw(a, 4, 4);
+  EXPECT_FLOAT_EQ(h.at2(3, 0), 2.0f);
+  EXPECT_FLOAT_EQ(h.at2(3, 1), 0.0f);
+  EXPECT_FLOAT_EQ(h.at2(3, 2), 1.0f);
+  EXPECT_FLOAT_EQ(h.at2(3, 3), 0.0f);
+  // Rows 0-2 of the histogram see no entries.
+  for (std::int64_t r = 0; r < 3; ++r)
+    for (std::int64_t b = 0; b < 4; ++b) EXPECT_FLOAT_EQ(h.at2(r, b), 0.0f);
+}
+
+TEST(Histogram, TotalMassEqualsNnz) {
+  Rng rng(2);
+  const Csr a = gen_powerlaw(100, 80, 6.0, 1.5, rng);
+  const Tensor h = row_histogram_raw(a, 16, 8);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(a.nnz()));
+  const Tensor hc = col_histogram_raw(a, 16, 8);
+  EXPECT_DOUBLE_EQ(hc.sum(), static_cast<double>(a.nnz()));
+}
+
+TEST(Histogram, DiagonalMatrixFillsBinZeroOnly) {
+  std::vector<Triplet> ts;
+  for (index_t i = 0; i < 32; ++i) ts.push_back({i, i, 1.0});
+  const Tensor h = row_histogram_raw(csr_from_triplets(32, 32, ts), 8, 8);
+  for (std::int64_t r = 0; r < 8; ++r) {
+    EXPECT_FLOAT_EQ(h.at2(r, 0), 4.0f);
+    for (std::int64_t b = 1; b < 8; ++b) EXPECT_FLOAT_EQ(h.at2(r, b), 0.0f);
+  }
+}
+
+TEST(Histogram, AntiDiagonalLandsInHighBins) {
+  std::vector<Triplet> ts;
+  for (index_t i = 0; i < 32; ++i) ts.push_back({i, 31 - i, 1.0});
+  const Tensor h = row_histogram_raw(csr_from_triplets(32, 32, ts), 4, 4);
+  // Corners of the anti-diagonal sit at distance ~31 → top bin.
+  EXPECT_GT(h.at2(0, 3), 0.0f);
+  EXPECT_GT(h.at2(3, 3), 0.0f);
+}
+
+TEST(Histogram, ColumnHistogramIsRowHistogramOfTranspose) {
+  Rng rng(3);
+  const Csr a = gen_powerlaw(60, 60, 5.0, 1.6, rng);
+  const Tensor hc = col_histogram_raw(a, 8, 8);
+  const Tensor hrt = row_histogram_raw(csr_transpose(a), 8, 8);
+  ASSERT_EQ(hc.shape(), hrt.shape());
+  for (std::int64_t i = 0; i < hc.size(); ++i) EXPECT_EQ(hc[i], hrt[i]);
+}
+
+TEST(Histogram, NormalizeMapsMaxToOne) {
+  Tensor h({2, 2});
+  h[0] = 4.0f;
+  h[3] = 1.0f;
+  const Tensor n = normalize_histogram(h);
+  EXPECT_FLOAT_EQ(n[0], 1.0f);  // the max always lands on 1
+  // Counts are log-compressed before the divide (dynamic-range control).
+  EXPECT_FLOAT_EQ(n[3],
+                  static_cast<float>(std::log1p(1.0) / std::log1p(4.0)));
+}
+
+TEST(Histogram, DensityScaleKeepsAbsoluteScale) {
+  // Two matrices with the same *pattern* but different densities must get
+  // different density-scaled histograms (the divide-by-max rule would make
+  // them identical — exactly the information loss DESIGN.md §5 calls out).
+  Tensor sparse_h({2, 2}), dense_h({2, 2});
+  sparse_h[0] = 8.0f;   // 8 nonzeros over ...
+  dense_h[0] = 64.0f;   // ... vs 64, same cell
+  const Tensor a = density_scale_histogram(sparse_h, 16);
+  const Tensor b = density_scale_histogram(dense_h, 16);
+  EXPECT_GT(b[0], a[0]);
+  EXPECT_GT(a[0], 0.0f);
+  EXPECT_LE(b[0], 1.0f);
+}
+
+TEST(Histogram, DensityScaleClipsAtOne) {
+  Tensor h({1, 1});
+  h[0] = 1e6f;
+  const Tensor n = density_scale_histogram(h, 4);
+  EXPECT_FLOAT_EQ(n[0], 1.0f);
+}
+
+TEST(Histogram, NormalizeZeroTensorStaysZero) {
+  Tensor h({3, 3});
+  const Tensor n = normalize_histogram(h);
+  EXPECT_FLOAT_EQ(n.max_abs(), 0.0f);
+}
+
+TEST(MakeInputs, SourceCountsPerMode) {
+  Rng rng(4);
+  const Csr a = gen_uniform_rows(40, 40, 4, 0, rng);
+  EXPECT_EQ(make_inputs(a, RepMode::kBinary, 16, 8).size(), 1u);
+  EXPECT_EQ(make_inputs(a, RepMode::kBinaryDensity, 16, 8).size(), 2u);
+  EXPECT_EQ(make_inputs(a, RepMode::kHistogram, 16, 8).size(), 2u);
+  EXPECT_EQ(rep_num_sources(RepMode::kBinary), 1);
+  EXPECT_EQ(rep_num_sources(RepMode::kHistogram), 2);
+}
+
+TEST(MakeInputs, ShapesFollowSpec) {
+  Rng rng(5);
+  const Csr a = gen_uniform_rows(50, 70, 4, 0, rng);
+  const auto hist = make_inputs(a, RepMode::kHistogram, 32, 10);
+  EXPECT_EQ(hist[0].shape(), (std::vector<std::int64_t>{32, 10}));
+  const auto bd = make_inputs(a, RepMode::kBinaryDensity, 24, 0);
+  EXPECT_EQ(bd[0].shape(), (std::vector<std::int64_t>{24, 24}));
+  EXPECT_EQ(bd[1].shape(), (std::vector<std::int64_t>{24, 24}));
+}
+
+TEST(MakeInputs, ValuesInUnitInterval) {
+  Rng rng(6);
+  const Csr a = gen_dense_rows(64, 64, 3, 4, 50, rng);
+  for (const RepMode m : {RepMode::kBinary, RepMode::kBinaryDensity,
+                          RepMode::kHistogram}) {
+    for (const Tensor& t : make_inputs(a, m, 16, 8)) {
+      for (std::int64_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i], 0.0f);
+        EXPECT_LE(t[i], 1.0f);
+      }
+    }
+  }
+}
+
+TEST(MakeInputs, SmallerMatrixThanRepresentationIsSafe) {
+  Rng rng(7);
+  const Csr a = gen_banded(5, 5, 1, 1.0, rng);  // 5x5 into 16x16 rep
+  const auto reps = make_inputs(a, RepMode::kBinaryDensity, 16, 8);
+  EXPECT_EQ(reps[0].shape(), (std::vector<std::int64_t>{16, 16}));
+  EXPECT_GT(reps[0].sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace dnnspmv

@@ -1,0 +1,132 @@
+// End-to-end FormatSelector: fit on a small labelled corpus, predict better
+// than chance, survive save/load, and migrate across platforms.
+#include "core/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dnnspmv {
+namespace {
+
+struct SmallPipeline {
+  std::vector<CorpusEntry> corpus;
+  std::unique_ptr<Platform> platform;
+  std::vector<LabeledMatrix> labeled;
+
+  SmallPipeline() {
+    CorpusSpec spec;
+    spec.count = 120;
+    spec.min_dim = 48;
+    spec.max_dim = 192;
+    spec.seed = 11;
+    corpus = build_corpus(spec);
+    platform = make_analytic_cpu(intel_xeon_params());
+    labeled = collect_labels(corpus, *platform);
+  }
+};
+
+SelectorOptions fast_options() {
+  SelectorOptions opts;
+  opts.mode = RepMode::kHistogram;
+  opts.size1 = 16;
+  opts.size2 = 8;
+  opts.train.epochs = 10;
+  opts.train.batch = 16;
+  opts.train.lr = 2e-3;
+  return opts;
+}
+
+TEST(Selector, FitAndBeatMajorityBaseline) {
+  SmallPipeline p;
+  FormatSelector sel(fast_options());
+  sel.fit(p.labeled, p.platform->formats());
+  ASSERT_TRUE(sel.trained());
+
+  // Training-set accuracy must beat always-predict-the-majority-class.
+  std::vector<std::int64_t> counts(p.platform->formats().size(), 0);
+  std::int64_t correct = 0;
+  for (const auto& lm : p.labeled) {
+    ++counts[static_cast<std::size_t>(lm.label)];
+    if (sel.predict_index(*lm.matrix) == lm.label) ++correct;
+  }
+  const auto majority = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(correct, majority);
+}
+
+TEST(Selector, PredictReturnsCandidateFormat) {
+  SmallPipeline p;
+  FormatSelector sel(fast_options());
+  sel.fit(p.labeled, p.platform->formats());
+  const Format f = sel.predict(p.corpus[0].matrix);
+  const auto& cands = sel.candidates();
+  EXPECT_NE(std::find(cands.begin(), cands.end(), f), cands.end());
+}
+
+TEST(Selector, SaveLoadPredictsIdentically) {
+  SmallPipeline p;
+  FormatSelector sel(fast_options());
+  sel.fit(p.labeled, p.platform->formats());
+  const std::string path = ::testing::TempDir() + "/selector.bin";
+  sel.save(path);
+  const FormatSelector back = FormatSelector::load(path);
+  EXPECT_EQ(back.candidates(), sel.candidates());
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(back.predict_index(p.corpus[static_cast<std::size_t>(i)].matrix),
+              sel.predict_index(p.corpus[static_cast<std::size_t>(i)].matrix))
+        << "matrix " << i;
+  }
+}
+
+TEST(Selector, PredictBeforeFitThrows) {
+  FormatSelector sel(fast_options());
+  Rng rng(1);
+  const Csr a = gen_banded(32, 32, 1, 1.0, rng);
+  EXPECT_THROW(sel.predict(a), std::runtime_error);
+}
+
+TEST(Selector, MigrationKeepsCandidates) {
+  SmallPipeline p;
+  FormatSelector sel(fast_options());
+  sel.fit(p.labeled, p.platform->formats());
+
+  const auto amd = make_analytic_cpu(amd_a8_params());
+  const auto amd_labeled = collect_labels(p.corpus, *amd);
+  const Dataset target = build_dataset(amd_labeled, amd->formats(),
+                                       sel.options().mode,
+                                       sel.options().size1,
+                                       sel.options().size2);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch = 16;
+  const FormatSelector migrated =
+      sel.migrate(MigrationMethod::kTopEvolve, target, cfg);
+  EXPECT_TRUE(migrated.trained());
+  EXPECT_EQ(migrated.candidates(), sel.candidates());
+  // Still produces valid predictions.
+  const auto idx = migrated.predict_index(p.corpus[0].matrix);
+  EXPECT_GE(idx, 0);
+  EXPECT_LT(idx, static_cast<std::int32_t>(sel.candidates().size()));
+}
+
+TEST(Selector, BuildDatasetCarriesTimesAndFeatures) {
+  SmallPipeline p;
+  const Dataset ds = build_dataset(p.labeled, p.platform->formats(),
+                                   RepMode::kHistogram, 16, 8);
+  ASSERT_EQ(ds.size(), p.labeled.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.samples[i].label, p.labeled[i].label);
+    EXPECT_EQ(ds.samples[i].format_times, p.labeled[i].format_times);
+    EXPECT_EQ(ds.samples[i].features.size(),
+              static_cast<std::size_t>(kNumFeatures));
+    EXPECT_EQ(ds.samples[i].inputs.size(), 2u);
+  }
+}
+
+TEST(Selector, LoadRejectsMissingFile) {
+  EXPECT_THROW(FormatSelector::load("/nonexistent/model.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dnnspmv

@@ -1,0 +1,206 @@
+// Property tests over all storage formats: conversion round trips and SpMV
+// equality against the dense reference, parameterized over a grid of
+// generator classes × formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "sparse/spmv.hpp"
+
+namespace dnnspmv {
+namespace {
+
+Csr make_matrix(int gen_id, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (gen_id) {
+    case 0: return gen_banded(60, 60, 3, 0.8, rng);
+    case 1: return gen_multidiag(70, 70, 5, 0.9, rng);
+    case 2: return gen_uniform_rows(50, 64, 6, 1, rng);
+    case 3: return gen_powerlaw(64, 80, 5.0, 1.6, rng);
+    case 4: return gen_block(48, 52, 3.0, 0.95, rng);
+    case 5: return gen_hypersparse(100, 90, 25, rng);
+    case 6: return gen_dense_rows(60, 60, 4, 3, 40, rng);
+    case 7: return gen_rmat(6, 300, 0.45, 0.22, 0.22, rng);
+    default: return gen_uniform_rows(10, 10, 2, 0, rng);
+  }
+}
+
+class FormatGrid
+    : public ::testing::TestWithParam<std::tuple<int, std::int32_t>> {};
+
+TEST_P(FormatGrid, ConversionRoundTripsToSameCsr) {
+  const auto [gen_id, fmt_id] = GetParam();
+  const Csr a = make_matrix(gen_id, 1000 + static_cast<std::uint64_t>(gen_id));
+  a.validate();
+  const auto m = AnyFormatMatrix::convert(a, static_cast<Format>(fmt_id));
+  if (!m) {
+    // Only DIA/ELL may refuse, and only on padding blow-up.
+    const Format f = static_cast<Format>(fmt_id);
+    EXPECT_TRUE(f == Format::kDia || f == Format::kEll);
+    return;
+  }
+  const Csr back = m->to_csr();
+  back.validate();
+  EXPECT_TRUE(csr_equal(a, back, 0.0))
+      << "round trip mismatch for " << format_name(static_cast<Format>(fmt_id));
+}
+
+TEST_P(FormatGrid, SpmvMatchesReference) {
+  const auto [gen_id, fmt_id] = GetParam();
+  const Csr a = make_matrix(gen_id, 2000 + static_cast<std::uint64_t>(gen_id));
+  const auto m = AnyFormatMatrix::convert(a, static_cast<Format>(fmt_id));
+  if (!m) return;  // format refused — covered by the round-trip test
+
+  Rng rng(77);
+  std::vector<double> x(static_cast<std::size_t>(a.cols));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.rows), -99.0);
+  std::vector<double> ref(static_cast<std::size_t>(a.rows), 0.0);
+  m->spmv(x, y);
+  spmv_reference(a, x, ref);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], ref[i], 1e-10 * (1.0 + std::fabs(ref[i])))
+        << "row " << i << " format "
+        << format_name(static_cast<Format>(fmt_id));
+}
+
+TEST_P(FormatGrid, SpmvIsLinear) {
+  // A(alpha*x + z) == alpha*A*x + A*z for every format and matrix class.
+  const auto [gen_id, fmt_id] = GetParam();
+  const Csr a = make_matrix(gen_id, 3000 + static_cast<std::uint64_t>(gen_id));
+  const auto m = AnyFormatMatrix::convert(a, static_cast<Format>(fmt_id));
+  if (!m) return;
+  Rng rng(123);
+  const double alpha = 2.5;
+  std::vector<double> x(static_cast<std::size_t>(a.cols));
+  std::vector<double> z(static_cast<std::size_t>(a.cols));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : z) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> combo(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) combo[i] = alpha * x[i] + z[i];
+  std::vector<double> y1(static_cast<std::size_t>(a.rows));
+  std::vector<double> y2(static_cast<std::size_t>(a.rows));
+  std::vector<double> y3(static_cast<std::size_t>(a.rows));
+  m->spmv(combo, y1);
+  m->spmv(x, y2);
+  m->spmv(z, y3);
+  for (std::size_t i = 0; i < y1.size(); ++i)
+    EXPECT_NEAR(y1[i], alpha * y2[i] + y3[i],
+                1e-9 * (1.0 + std::fabs(y1[i])));
+}
+
+TEST_P(FormatGrid, ZeroVectorGivesZero) {
+  const auto [gen_id, fmt_id] = GetParam();
+  const Csr a = make_matrix(gen_id, 4000 + static_cast<std::uint64_t>(gen_id));
+  const auto m = AnyFormatMatrix::convert(a, static_cast<Format>(fmt_id));
+  if (!m) return;
+  std::vector<double> x(static_cast<std::size_t>(a.cols), 0.0);
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 7.0);
+  m->spmv(x, y);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGeneratorsAllFormats, FormatGrid,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Range(std::int32_t{0}, kNumFormats)),
+    [](const auto& info) {
+      return "gen" + std::to_string(std::get<0>(info.param)) + "_" +
+             format_name(static_cast<Format>(std::get<1>(info.param)));
+    });
+
+TEST(FormatNames, RoundTrip) {
+  for (std::int32_t i = 0; i < kNumFormats; ++i) {
+    const Format f = static_cast<Format>(i);
+    EXPECT_EQ(format_from_name(format_name(f)), f);
+  }
+  EXPECT_THROW(format_from_name("NOPE"), std::runtime_error);
+}
+
+TEST(FormatSets, MatchPaperPlatforms) {
+  EXPECT_EQ(cpu_formats().size(), 4u);  // SMATLib: COO CSR DIA ELL
+  EXPECT_EQ(gpu_formats().size(), 6u);  // cuSPARSE+CSR5
+  EXPECT_EQ(cpu_formats()[1], Format::kCsr);
+  EXPECT_EQ(gpu_formats().back(), Format::kCoo);
+}
+
+TEST(Csr, FromTripletsSortsAndMergesDuplicates) {
+  std::vector<Triplet> ts = {{1, 2, 1.0}, {0, 1, 2.0}, {1, 2, 3.0},
+                             {1, 0, 4.0}};
+  const Csr m = csr_from_triplets(2, 3, std::move(ts));
+  m.validate();
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.row_nnz(0), 1);
+  EXPECT_EQ(m.row_nnz(1), 2);
+  // Duplicate (1,2) summed to 4.0.
+  EXPECT_DOUBLE_EQ(m.val.back(), 4.0);
+}
+
+TEST(Csr, FromTripletsRejectsOutOfBounds) {
+  EXPECT_THROW(csr_from_triplets(2, 2, {{2, 0, 1.0}}), std::runtime_error);
+  EXPECT_THROW(csr_from_triplets(2, 2, {{0, -1, 1.0}}), std::runtime_error);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  Rng rng(5);
+  const Csr a = gen_powerlaw(40, 30, 4.0, 1.8, rng);
+  const Csr tt = csr_transpose(csr_transpose(a));
+  EXPECT_TRUE(csr_equal(a, tt, 0.0));
+}
+
+TEST(Csr, TransposeSwapsCoordinates) {
+  const Csr a = csr_from_triplets(2, 3, {{0, 2, 5.0}, {1, 0, 7.0}});
+  const Csr t = csr_transpose(a);
+  EXPECT_EQ(t.rows, 3);
+  EXPECT_EQ(t.cols, 2);
+  std::vector<double> x = {1.0, 0.0};
+  std::vector<double> y(3, 0.0);
+  spmv_csr(t, x, y);
+  EXPECT_DOUBLE_EQ(y[2], 5.0);  // (2,0) in A^T
+}
+
+TEST(Hyb, SplitsAtRequestedWidth) {
+  Rng rng(6);
+  const Csr a = gen_dense_rows(30, 30, 2, 2, 20, rng);
+  const Hyb h = hyb_from_csr(a, 3);
+  EXPECT_EQ(h.ell.width, 3);
+  EXPECT_GT(h.coo.nnz(), 0);  // dense rows must overflow
+  EXPECT_TRUE(csr_equal(a, csr_from_hyb(h), 0.0));
+}
+
+TEST(Hyb, HeuristicWidthCoversUniformMatrix) {
+  Rng rng(7);
+  const Csr a = gen_uniform_rows(40, 40, 5, 0, rng);
+  const Hyb h = hyb_from_csr(a);
+  EXPECT_EQ(h.coo.nnz(), 0);  // uniform rows: no overflow at p67 width
+}
+
+TEST(Bsr, BlockCountMatchesStats) {
+  Rng rng(8);
+  const Csr a = gen_block(40, 40, 2.0, 1.0, rng);
+  const Bsr b = bsr_from_csr(a);
+  EXPECT_GT(b.nblocks(), 0);
+  EXPECT_NEAR(b.fill_ratio(a.nnz()), 1.0, 1e-9);  // fully dense blocks
+}
+
+TEST(Csr5, TileRowIsMonotone) {
+  Rng rng(9);
+  const Csr a = gen_powerlaw(100, 100, 8.0, 1.5, rng);
+  const Csr5 c5 = csr5_from_csr(a, 64);
+  for (std::size_t t = 1; t < c5.tile_row.size(); ++t)
+    EXPECT_LE(c5.tile_row[t - 1], c5.tile_row[t]);
+}
+
+TEST(Csr5, SmallTileSizeStillCorrect) {
+  Rng rng(10);
+  const Csr a = gen_dense_rows(30, 30, 3, 2, 25, rng);
+  const Csr5 c5 = csr5_from_csr(a, 4);  // many tiles per row
+  std::vector<double> x(30, 1.0), y(30, 0.0), ref(30, 0.0);
+  spmv_csr5(c5, x, y);
+  spmv_reference(a, x, ref);
+  for (int i = 0; i < 30; ++i) EXPECT_NEAR(y[i], ref[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace dnnspmv

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "ml/features.hpp"
+#include "sparse/stats.hpp"
+
+namespace dnnspmv {
+namespace {
+
+TEST(Stats, PureDiagonalMatrix) {
+  std::vector<Triplet> ts;
+  for (index_t i = 0; i < 10; ++i) ts.push_back({i, i, 1.0});
+  const MatrixStats s = compute_stats(csr_from_triplets(10, 10, ts));
+  EXPECT_EQ(s.nnz, 10);
+  EXPECT_EQ(s.ndiags, 1);
+  EXPECT_DOUBLE_EQ(s.diag_frac, 1.0);
+  EXPECT_DOUBLE_EQ(s.dia_fill, 1.0);
+  EXPECT_DOUBLE_EQ(s.ell_fill, 1.0);
+  EXPECT_EQ(s.bandwidth, 0);
+  EXPECT_EQ(s.row_nnz_min, 1);
+  EXPECT_EQ(s.row_nnz_max, 1);
+  EXPECT_DOUBLE_EQ(s.row_nnz_cv, 0.0);
+}
+
+TEST(Stats, TridiagonalCounts) {
+  Rng rng(1);
+  const Csr a = gen_banded(20, 20, 1, 1.0, rng);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_EQ(s.ndiags, 3);
+  EXPECT_EQ(s.bandwidth, 1);
+  EXPECT_EQ(s.nnz, 58);
+}
+
+TEST(Stats, EmptyRowsCounted) {
+  const Csr a = csr_from_triplets(5, 5, {{0, 0, 1.0}, {4, 4, 1.0}});
+  const MatrixStats s = compute_stats(a);
+  EXPECT_EQ(s.empty_rows, 3);
+  EXPECT_EQ(s.row_nnz_min, 0);
+}
+
+TEST(Stats, MaxOverMeanDetectsSkew) {
+  Rng rng(2);
+  const Csr uniform = gen_uniform_rows(100, 100, 5, 0, rng);
+  const Csr skewed = gen_dense_rows(100, 100, 2, 1, 90, rng);
+  EXPECT_NEAR(compute_stats(uniform).max_over_mean, 1.0, 1e-9);
+  EXPECT_GT(compute_stats(skewed).max_over_mean, 10.0);
+}
+
+TEST(Stats, DensityIsNnzOverArea) {
+  Rng rng(3);
+  const Csr a = gen_uniform_rows(10, 20, 4, 0, rng);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_NEAR(s.density, 40.0 / 200.0, 1e-12);
+}
+
+TEST(Stats, BsrBlocksForAlignedDenseBlocks) {
+  Rng rng(4);
+  const Csr a = gen_block(16, 16, 1.0, 1.0, rng);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_EQ(s.bsr_blocks * 16, s.nnz);
+}
+
+TEST(Stats, ZeroMatrixIsSafe) {
+  const Csr a = csr_from_triplets(4, 4, {});
+  const MatrixStats s = compute_stats(a);
+  EXPECT_EQ(s.nnz, 0);
+  EXPECT_EQ(s.empty_rows, 4);
+  EXPECT_DOUBLE_EQ(s.row_nnz_mean, 0.0);
+}
+
+TEST(Features, CountMatchesNames) {
+  Rng rng(5);
+  const Csr a = gen_powerlaw(50, 50, 5.0, 1.5, rng);
+  const auto f = extract_features(a);
+  EXPECT_EQ(f.size(), static_cast<std::size_t>(kNumFeatures));
+  EXPECT_EQ(feature_names().size(), static_cast<std::size_t>(kNumFeatures));
+}
+
+TEST(Features, AllFinite) {
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const Csr a = gen_powerlaw(30 + i, 30, 4.0, 1.5, rng);
+    for (double v : extract_features(a)) EXPECT_TRUE(std::isfinite(v));
+  }
+  // Degenerate matrices too.
+  for (double v : extract_features(csr_from_triplets(3, 3, {})))
+    EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Features, SeparateDiagonalFromRandom) {
+  Rng rng(7);
+  const auto fd = extract_features(gen_banded(64, 64, 1, 1.0, rng));
+  const auto fr = extract_features(gen_uniform_rows(64, 64, 3, 0, rng));
+  // dia_fill (index 11) distinguishes the two strongly.
+  EXPECT_GT(fd[11], 0.9);
+  EXPECT_LT(fr[11], 0.2);
+}
+
+}  // namespace
+}  // namespace dnnspmv
