@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/corpus_explorer.cpp" "examples/CMakeFiles/corpus_explorer.dir/corpus_explorer.cpp.o" "gcc" "examples/CMakeFiles/corpus_explorer.dir/corpus_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dnnspmv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dnnspmv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dnnspmv_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dnnspmv_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dnnspmv_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dnnspmv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/dnnspmv_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dnnspmv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnnspmv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

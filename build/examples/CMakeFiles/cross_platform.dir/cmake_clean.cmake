@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_platform.dir/cross_platform.cpp.o"
+  "CMakeFiles/cross_platform.dir/cross_platform.cpp.o.d"
+  "cross_platform"
+  "cross_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

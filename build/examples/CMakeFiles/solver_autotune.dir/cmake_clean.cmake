@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_autotune.dir/solver_autotune.cpp.o"
+  "CMakeFiles/solver_autotune.dir/solver_autotune.cpp.o.d"
+  "solver_autotune"
+  "solver_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_common.dir/cli.cpp.o"
+  "CMakeFiles/dnnspmv_common.dir/cli.cpp.o.d"
+  "CMakeFiles/dnnspmv_common.dir/rng.cpp.o"
+  "CMakeFiles/dnnspmv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dnnspmv_common.dir/timer.cpp.o"
+  "CMakeFiles/dnnspmv_common.dir/timer.cpp.o.d"
+  "libdnnspmv_common.a"
+  "libdnnspmv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

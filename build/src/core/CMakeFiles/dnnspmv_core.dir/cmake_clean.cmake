@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_core.dir/adaptive.cpp.o"
+  "CMakeFiles/dnnspmv_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/dnnspmv_core.dir/model_zoo.cpp.o"
+  "CMakeFiles/dnnspmv_core.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/dnnspmv_core.dir/represent.cpp.o"
+  "CMakeFiles/dnnspmv_core.dir/represent.cpp.o.d"
+  "CMakeFiles/dnnspmv_core.dir/selector.cpp.o"
+  "CMakeFiles/dnnspmv_core.dir/selector.cpp.o.d"
+  "CMakeFiles/dnnspmv_core.dir/trainer.cpp.o"
+  "CMakeFiles/dnnspmv_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/dnnspmv_core.dir/transfer.cpp.o"
+  "CMakeFiles/dnnspmv_core.dir/transfer.cpp.o.d"
+  "libdnnspmv_core.a"
+  "libdnnspmv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

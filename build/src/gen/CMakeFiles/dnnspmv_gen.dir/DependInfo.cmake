@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/augment.cpp" "src/gen/CMakeFiles/dnnspmv_gen.dir/augment.cpp.o" "gcc" "src/gen/CMakeFiles/dnnspmv_gen.dir/augment.cpp.o.d"
+  "/root/repo/src/gen/corpus.cpp" "src/gen/CMakeFiles/dnnspmv_gen.dir/corpus.cpp.o" "gcc" "src/gen/CMakeFiles/dnnspmv_gen.dir/corpus.cpp.o.d"
+  "/root/repo/src/gen/generators.cpp" "src/gen/CMakeFiles/dnnspmv_gen.dir/generators.cpp.o" "gcc" "src/gen/CMakeFiles/dnnspmv_gen.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/dnnspmv_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnnspmv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

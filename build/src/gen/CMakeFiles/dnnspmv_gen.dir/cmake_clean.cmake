@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_gen.dir/augment.cpp.o"
+  "CMakeFiles/dnnspmv_gen.dir/augment.cpp.o.d"
+  "CMakeFiles/dnnspmv_gen.dir/corpus.cpp.o"
+  "CMakeFiles/dnnspmv_gen.dir/corpus.cpp.o.d"
+  "CMakeFiles/dnnspmv_gen.dir/generators.cpp.o"
+  "CMakeFiles/dnnspmv_gen.dir/generators.cpp.o.d"
+  "libdnnspmv_gen.a"
+  "libdnnspmv_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

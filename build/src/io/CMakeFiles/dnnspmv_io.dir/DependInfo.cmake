@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dataset.cpp" "src/io/CMakeFiles/dnnspmv_io.dir/dataset.cpp.o" "gcc" "src/io/CMakeFiles/dnnspmv_io.dir/dataset.cpp.o.d"
+  "/root/repo/src/io/mmio.cpp" "src/io/CMakeFiles/dnnspmv_io.dir/mmio.cpp.o" "gcc" "src/io/CMakeFiles/dnnspmv_io.dir/mmio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/dnnspmv_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dnnspmv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnnspmv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

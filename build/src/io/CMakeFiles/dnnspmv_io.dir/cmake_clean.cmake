@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_io.dir/dataset.cpp.o"
+  "CMakeFiles/dnnspmv_io.dir/dataset.cpp.o.d"
+  "CMakeFiles/dnnspmv_io.dir/mmio.cpp.o"
+  "CMakeFiles/dnnspmv_io.dir/mmio.cpp.o.d"
+  "libdnnspmv_io.a"
+  "libdnnspmv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/crossval.cpp" "src/ml/CMakeFiles/dnnspmv_ml.dir/crossval.cpp.o" "gcc" "src/ml/CMakeFiles/dnnspmv_ml.dir/crossval.cpp.o.d"
+  "/root/repo/src/ml/dtree.cpp" "src/ml/CMakeFiles/dnnspmv_ml.dir/dtree.cpp.o" "gcc" "src/ml/CMakeFiles/dnnspmv_ml.dir/dtree.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/dnnspmv_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/dnnspmv_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/dnnspmv_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/dnnspmv_ml.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/dnnspmv_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnnspmv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

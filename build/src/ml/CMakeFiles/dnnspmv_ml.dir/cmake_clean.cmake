@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_ml.dir/crossval.cpp.o"
+  "CMakeFiles/dnnspmv_ml.dir/crossval.cpp.o.d"
+  "CMakeFiles/dnnspmv_ml.dir/dtree.cpp.o"
+  "CMakeFiles/dnnspmv_ml.dir/dtree.cpp.o.d"
+  "CMakeFiles/dnnspmv_ml.dir/features.cpp.o"
+  "CMakeFiles/dnnspmv_ml.dir/features.cpp.o.d"
+  "CMakeFiles/dnnspmv_ml.dir/metrics.cpp.o"
+  "CMakeFiles/dnnspmv_ml.dir/metrics.cpp.o.d"
+  "libdnnspmv_ml.a"
+  "libdnnspmv_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnnspmv_ml.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/merge_net.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/merge_net.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/merge_net.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/dnnspmv_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/dnnspmv_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dnnspmv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnnspmv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_nn.dir/activation.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/dense.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/dropout.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/flatten.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/layer.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/loss.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/merge_net.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/merge_net.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/pool.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/sequential.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/dnnspmv_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dnnspmv_nn.dir/serialize.cpp.o.d"
+  "libdnnspmv_nn.a"
+  "libdnnspmv_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_perf.dir/labels.cpp.o"
+  "CMakeFiles/dnnspmv_perf.dir/labels.cpp.o.d"
+  "CMakeFiles/dnnspmv_perf.dir/platform.cpp.o"
+  "CMakeFiles/dnnspmv_perf.dir/platform.cpp.o.d"
+  "libdnnspmv_perf.a"
+  "libdnnspmv_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_sparse.dir/bsr.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/bsr.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/coo.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/csr.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/csr5.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/csr5.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/dia.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/dia.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/ell.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/ell.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/format.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/format.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/hyb.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/hyb.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/spmv.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/spmv.cpp.o.d"
+  "CMakeFiles/dnnspmv_sparse.dir/stats.cpp.o"
+  "CMakeFiles/dnnspmv_sparse.dir/stats.cpp.o.d"
+  "libdnnspmv_sparse.a"
+  "libdnnspmv_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnnspmv_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/dnnspmv_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/dnnspmv_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/dnnspmv_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/dnnspmv_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dnnspmv_tensor.dir/tensor.cpp.o.d"
+  "libdnnspmv_tensor.a"
+  "libdnnspmv_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnnspmv_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

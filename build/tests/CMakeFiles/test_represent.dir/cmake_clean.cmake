@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_represent.dir/test_represent.cpp.o"
+  "CMakeFiles/test_represent.dir/test_represent.cpp.o.d"
+  "test_represent"
+  "test_represent.pdb"
+  "test_represent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_represent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_edge.dir/test_sparse_edge.cpp.o"
+  "CMakeFiles/test_sparse_edge.dir/test_sparse_edge.cpp.o.d"
+  "test_sparse_edge"
+  "test_sparse_edge.pdb"
+  "test_sparse_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

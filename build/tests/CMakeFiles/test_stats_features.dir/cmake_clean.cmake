@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_features.dir/test_stats_features.cpp.o"
+  "CMakeFiles/test_stats_features.dir/test_stats_features.cpp.o.d"
+  "test_stats_features"
+  "test_stats_features.pdb"
+  "test_stats_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_gradcheck[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_training[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_mmio[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset_io[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_augment[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_features[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_labels[1]_include.cmake")
+include("/root/repo/build/tests/test_dtree[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_represent[1]_include.cmake")
+include("/root/repo/build/tests/test_model_zoo[1]_include.cmake")
+include("/root/repo/build/tests/test_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_selector[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
