@@ -1,0 +1,172 @@
+// Serving-layer throughput: SelectionService vs. the single-thread,
+// batch-size-1 baseline.
+//
+// Workload: a pool of distinct matrices queried repeatedly (Zipf-free
+// uniform repetition — every request picks a pool matrix at random), the
+// shape of an iterative-solver fleet re-deciding formats. The baseline
+// runs FormatSelector::predict per request on one thread with no cache.
+// The service adds the fingerprint LRU in front and micro-batched forwards
+// behind, so repeated structures skip inference and concurrent misses
+// coalesce.
+//
+// Acceptance (ISSUE 1): service throughput ≥ 3× baseline and ≥ 90% cache
+// hits on the repeated workload.
+//
+// Flags (besides the shared ones; small defaults keep this quick):
+//   --pool <p>      distinct matrices in the workload     (default 48)
+//   --requests <r>  total prediction requests per run     (default 1500)
+//   --threads <t>   comma list of client-thread counts    (default 1,2,4,8)
+//   --batch <b>     comma list of max_batch values        (default 1,8,32)
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "serve/service.hpp"
+
+namespace dnnspmv::bench {
+namespace {
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    try {
+      const int v = std::stoi(tok);
+      DNNSPMV_CHECK_MSG(v > 0, "list entries must be positive");
+      out.push_back(v);
+    } catch (const std::logic_error&) {
+      DNNSPMV_CHECK_MSG(false, "expected comma-separated positive ints, got '"
+                                   << s << "'");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  DNNSPMV_CHECK_MSG(!out.empty(), "empty int list");
+  return out;
+}
+
+struct Workload {
+  std::vector<Csr> pool;
+  std::vector<std::size_t> order;  // request i asks for pool[order[i]]
+};
+
+Workload make_workload(const std::vector<CorpusEntry>& corpus,
+                       std::size_t pool_size, std::size_t requests,
+                       std::uint64_t seed) {
+  Workload w;
+  pool_size = std::min(pool_size, corpus.size());
+  for (std::size_t i = 0; i < pool_size; ++i)
+    w.pool.push_back(corpus[i].matrix);
+  Rng rng(seed);
+  w.order.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i)
+    w.order.push_back(rng.uniform_u64(pool_size));
+  return w;
+}
+
+double run_baseline(const FormatSelector& sel, const Workload& w) {
+  Timer t;
+  for (std::size_t m : w.order) (void)sel.predict_index(w.pool[m]);
+  return static_cast<double>(w.order.size()) / t.seconds();
+}
+
+struct ServiceRun {
+  double throughput = 0.0;
+  ServiceStats stats;
+};
+
+ServiceRun run_service(const FormatSelector& sel, const Workload& w,
+                       int threads, std::size_t max_batch) {
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = max_batch;
+  opts.cache_capacity = 4096;
+  SelectionService service(sel, opts);
+
+  Timer t;
+  std::vector<std::thread> clients;
+  const std::size_t per =
+      (w.order.size() + static_cast<std::size_t>(threads) - 1) /
+      static_cast<std::size_t>(threads);
+  for (int c = 0; c < threads; ++c) {
+    clients.emplace_back([&, c] {
+      const std::size_t lo = static_cast<std::size_t>(c) * per;
+      const std::size_t hi = std::min(w.order.size(), lo + per);
+      for (std::size_t i = lo; i < hi; ++i)
+        (void)service.predict_index(w.pool[w.order[i]]);
+    });
+  }
+  for (auto& c : clients) c.join();
+  ServiceRun run;
+  run.throughput = static_cast<double>(w.order.size()) / t.seconds();
+  run.stats = service.snapshot();
+  return run;
+}
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  if (cfg.n == 900) cfg.n = 160;  // shrink the shared default: training is
+                                  // only setup here, serving is the subject
+  const auto pool_size = static_cast<std::size_t>(cli.get_int("pool", 48));
+  const auto requests =
+      static_cast<std::size_t>(cli.get_int("requests", 1500));
+  const std::vector<int> threads =
+      parse_int_list(cli.get_string("threads", "1,2,4,8"));
+  const std::vector<int> batches =
+      parse_int_list(cli.get_string("batch", "1,8,32"));
+  cli.check_unused();
+
+  std::printf("== bench_serve: SelectionService throughput ==\n");
+  cfg.min_dim = 48;
+  cfg.max_dim = 256;
+  const auto platform = make_analytic_cpu(intel_xeon_params());
+  const LabeledCorpus lc = make_labeled_corpus(cfg, *platform);
+
+  SelectorOptions sopts;
+  sopts.mode = RepMode::kHistogram;
+  sopts.size1 = cfg.size;
+  sopts.size2 = cfg.bins;
+  sopts.train.epochs = std::min(cfg.epochs, 8);
+  FormatSelector sel(sopts);
+  sel.fit(lc.labeled, platform->formats());
+
+  const Workload w = make_workload(lc.corpus, pool_size, requests, cfg.seed);
+  std::printf("corpus=%zu pool=%zu requests=%zu\n", lc.corpus.size(),
+              w.pool.size(), w.order.size());
+
+  const double base = run_baseline(sel, w);
+  std::printf("\nbaseline (1 thread, batch=1, no cache): %.0f req/s\n", base);
+
+  std::printf("\n%8s %8s %12s %9s %9s %10s %10s %10s\n", "threads", "batch",
+              "req/s", "vs base", "hit rate", "mean batch", "p50 lat",
+              "p95 lat");
+  bool met_throughput = false, met_hits = false;
+  for (int t : threads) {
+    for (int b : batches) {
+      const ServiceRun r =
+          run_service(sel, w, t, static_cast<std::size_t>(b));
+      std::printf("%8d %8d %12.0f %8.1fx %8.1f%% %10.2f %9.0fus %9.0fus\n",
+                  t, b, r.throughput, r.throughput / base,
+                  100.0 * r.stats.hit_rate(), r.stats.mean_batch(),
+                  1e6 * r.stats.latency_quantile(0.50),
+                  1e6 * r.stats.latency_quantile(0.95));
+      met_throughput |= r.throughput >= 3.0 * base;
+      met_hits |= r.stats.hit_rate() >= 0.9;
+    }
+  }
+  std::printf("\nacceptance: throughput >= 3x baseline: %s; "
+              "hit rate >= 90%%: %s\n",
+              met_throughput ? "PASS" : "FAIL", met_hits ? "PASS" : "FAIL");
+  return met_throughput && met_hits ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dnnspmv::bench
+
+int main(int argc, char** argv) { return dnnspmv::bench::run(argc, argv); }

@@ -1,0 +1,34 @@
+// Small non-cryptographic hashing utilities.
+//
+// Used for structural matrix fingerprints and cache shard selection
+// (src/serve). splitmix64 is the standard 64-bit finalizer/mixer of
+// Steele et al.; hash_combine folds values into a running state the same
+// way, so combined hashes keep full avalanche behaviour.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace dnnspmv {
+
+/// splitmix64 mixing step: maps a 64-bit value to a well-distributed one.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Folds `v` into running hash `h` (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return splitmix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Bit pattern of a double, with -0.0 canonicalized to +0.0 so numerically
+/// equal keys hash equally.
+inline std::uint64_t hash_double(double d) {
+  if (d == 0.0) d = 0.0;  // collapse -0.0
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+}  // namespace dnnspmv

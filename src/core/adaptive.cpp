@@ -1,8 +1,15 @@
 #include "core/adaptive.hpp"
 
+#include "common/hash.hpp"
 #include "common/timer.hpp"
+#include "serve/fingerprint.hpp"
 
 namespace dnnspmv {
+
+PredictionCache& AdaptiveSpmv::shared_prediction_cache() {
+  static PredictionCache cache(/*capacity=*/4096, /*shards=*/8);
+  return cache;
+}
 
 AnyFormatMatrix AdaptiveSpmv::convert_or_csr(const Csr& matrix,
                                              Format format,
@@ -17,9 +24,31 @@ AnyFormatMatrix AdaptiveSpmv::convert_or_csr(const Csr& matrix,
 }
 
 AdaptiveSpmv::AdaptiveSpmv(const FormatSelector& selector, const Csr& matrix)
+    : AdaptiveSpmv(selector, matrix, &shared_prediction_cache()) {}
+
+AdaptiveSpmv::AdaptiveSpmv(const FormatSelector& selector, const Csr& matrix,
+                           PredictionCache* cache)
     : stored_(*AnyFormatMatrix::convert(matrix, Format::kCsr)) {
   Timer predict_timer;
-  const Format pick = selector.predict(matrix);
+  Format pick;
+  if (cache) {
+    // Same cache key space as the service: structural fingerprint, mixed
+    // with the selector's identity so two models never share entries.
+    const std::uint64_t key = hash_combine(
+        structural_fingerprint(matrix),
+        reinterpret_cast<std::uintptr_t>(&selector));
+    std::int32_t idx = 0;
+    if (cache->get(key, idx)) {
+      cache_hit_ = true;
+      pick = selector.candidates()[static_cast<std::size_t>(idx)];
+    } else {
+      idx = selector.predict_index(matrix);
+      cache->put(key, idx);
+      pick = selector.candidates()[static_cast<std::size_t>(idx)];
+    }
+  } else {
+    pick = selector.predict(matrix);
+  }
   prediction_seconds_ = predict_timer.seconds();
   Timer convert_timer;
   stored_ = convert_or_csr(matrix, pick, fell_back_);

@@ -7,19 +7,32 @@
 // CSR. The constructor records how long prediction and conversion took so
 // callers can reason about amortization ("the 1–3 iterations of overhead
 // is negligible compared to the time the better formats help save").
+//
+// Prediction is memoized through the serve-layer structural-fingerprint
+// cache: constructing repeatedly from the same (or structurally identical)
+// matrix skips CNN inference after the first time, paying only the O(nnz)
+// fingerprint pass. By default a process-wide cache is used, keyed by
+// (selector identity, fingerprint); pass an explicit PredictionCache to
+// scope the memoization (e.g. per tenant), or nullptr to disable it.
 #pragma once
 
 #include <optional>
 
 #include "core/selector.hpp"
+#include "serve/lru_cache.hpp"
 #include "sparse/spmv.hpp"
 
 namespace dnnspmv {
 
 class AdaptiveSpmv {
  public:
-  /// Predicts with `selector`, converts, and owns the stored matrix.
+  /// Predicts with `selector` (through the shared prediction cache),
+  /// converts, and owns the stored matrix.
   AdaptiveSpmv(const FormatSelector& selector, const Csr& matrix);
+
+  /// Same, against a caller-owned cache; nullptr disables memoization.
+  AdaptiveSpmv(const FormatSelector& selector, const Csr& matrix,
+               PredictionCache* cache);
 
   /// No prediction: stores the matrix in `format` (CSR fallback applies).
   AdaptiveSpmv(const Csr& matrix, Format format);
@@ -33,13 +46,24 @@ class AdaptiveSpmv {
   /// True when the predicted format refused the matrix and CSR is used.
   bool fell_back() const { return fell_back_; }
 
+  /// True when the prediction came from the cache (no CNN forward ran).
+  bool cache_hit() const { return cache_hit_; }
+
   index_t rows() const { return stored_.rows(); }
   index_t cols() const { return stored_.cols(); }
   std::int64_t bytes() const { return stored_.bytes(); }
 
-  /// One-time costs paid at construction.
+  /// One-time costs paid at construction. On a cache hit,
+  /// prediction_seconds() is the fingerprint+lookup time only.
   double prediction_seconds() const { return prediction_seconds_; }
   double conversion_seconds() const { return conversion_seconds_; }
+
+  /// The process-wide prediction cache the two-argument constructor uses.
+  /// Entries are keyed by selector identity (address) + fingerprint; a
+  /// stale entry after a selector is destroyed and another allocated at
+  /// the same address can only mis-pick a *format* (a performance, never a
+  /// correctness, concern — every format computes the same product).
+  static PredictionCache& shared_prediction_cache();
 
  private:
   static AnyFormatMatrix convert_or_csr(const Csr& matrix, Format format,
@@ -47,6 +71,7 @@ class AdaptiveSpmv {
 
   AnyFormatMatrix stored_;
   bool fell_back_ = false;
+  bool cache_hit_ = false;
   double prediction_seconds_ = 0.0;
   double conversion_seconds_ = 0.0;
 };

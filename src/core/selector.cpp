@@ -62,16 +62,55 @@ void FormatSelector::fit(const Dataset& train) {
   train_cnn(*net_, train, num_net_inputs(spec), opts_.train);
 }
 
-std::int32_t FormatSelector::predict_index(const Csr& a) const {
+std::vector<Tensor> FormatSelector::prepare_inputs(const Csr& a) const {
   DNNSPMV_CHECK_MSG(net_, "predict on an untrained FormatSelector");
-  Dataset one;
-  one.candidates = candidates_;
-  Sample s;
-  s.inputs = make_inputs(a, opts_.mode, opts_.size1, opts_.size2);
-  one.samples.push_back(std::move(s));
-  const auto pred =
-      predict_cnn(*net_, one, num_net_inputs(make_spec()), 1);
-  return pred[0];
+  return make_inputs(a, opts_.mode, opts_.size1, opts_.size2);
+}
+
+std::vector<std::int32_t> FormatSelector::predict_prepared(
+    const std::vector<std::vector<Tensor>>& prepared) const {
+  DNNSPMV_CHECK_MSG(net_, "predict on an untrained FormatSelector");
+  if (prepared.empty()) return {};
+  Dataset batch;
+  batch.candidates = candidates_;
+  batch.samples.reserve(prepared.size());
+  for (const std::vector<Tensor>& inputs : prepared) {
+    Sample s;
+    s.inputs = inputs;
+    batch.samples.push_back(std::move(s));
+  }
+  // One forward over the whole batch; the lock covers only inference, not
+  // the representation work above.
+  std::lock_guard<std::mutex> lock(*infer_mu_);
+  return predict_cnn(*net_, batch, num_net_inputs(make_spec()),
+                     static_cast<int>(prepared.size()));
+}
+
+std::int32_t FormatSelector::predict_index(const Csr& a) const {
+  return predict_prepared({prepare_inputs(a)})[0];
+}
+
+std::vector<std::int32_t> FormatSelector::predict_index_batch(
+    const std::vector<const Csr*>& as) const {
+  std::vector<std::vector<Tensor>> prepared;
+  prepared.reserve(as.size());
+  for (const Csr* a : as) {
+    DNNSPMV_CHECK(a != nullptr);
+    prepared.push_back(prepare_inputs(*a));
+  }
+  return predict_prepared(prepared);
+}
+
+std::vector<Format> FormatSelector::predict_batch(
+    const std::vector<Csr>& as) const {
+  std::vector<const Csr*> ptrs;
+  ptrs.reserve(as.size());
+  for (const Csr& a : as) ptrs.push_back(&a);
+  std::vector<Format> out;
+  out.reserve(as.size());
+  for (std::int32_t idx : predict_index_batch(ptrs))
+    out.push_back(candidates_[static_cast<std::size_t>(idx)]);
+  return out;
 }
 
 Format FormatSelector::predict(const Csr& a) const {

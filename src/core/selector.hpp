@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/represent.hpp"
@@ -42,10 +43,35 @@ class FormatSelector {
   void fit(const Dataset& train);
 
   /// Predicted best format for a new matrix.
+  ///
+  /// Thread safety: predict/predict_index/predict_batch/predict_prepared
+  /// may be called concurrently from any number of threads on a trained
+  /// selector. MergeNet keeps mutable per-forward scratch (activations for
+  /// backward), so inference is internally serialized on a per-selector
+  /// mutex; representation-building (prepare_inputs) runs outside the lock
+  /// and scales with the callers. Concurrent prediction must not overlap
+  /// with fit()/migrate() on the same object.
   Format predict(const Csr& a) const;
 
   /// Index into candidates() instead of the Format enum.
   std::int32_t predict_index(const Csr& a) const;
+
+  /// Batched predict: one forward pass over all matrices through the same
+  /// batched-tensor path the trainer uses. Element i equals predict(as[i])
+  /// exactly (per-sample arithmetic is batch-size invariant).
+  std::vector<Format> predict_batch(const std::vector<Csr>& as) const;
+  std::vector<std::int32_t> predict_index_batch(
+      const std::vector<const Csr*>& as) const;
+
+  /// CNN-ready representations of one matrix — the per-request work a
+  /// serving layer runs in its client threads. Pure function of the matrix
+  /// and options; safe concurrently without the inference lock.
+  std::vector<Tensor> prepare_inputs(const Csr& a) const;
+
+  /// Argmax candidate indices for pre-built representations, one batched
+  /// forward pass. The micro-batching backend of serve::SelectionService.
+  std::vector<std::int32_t> predict_prepared(
+      const std::vector<std::vector<Tensor>>& prepared) const;
 
   const std::vector<Format>& candidates() const { return candidates_; }
   const SelectorOptions& options() const { return opts_; }
@@ -65,6 +91,9 @@ class FormatSelector {
   SelectorOptions opts_;
   std::vector<Format> candidates_;
   std::unique_ptr<MergeNet> net_;  // unique_ptr: MergeNet is move-averse
+  // Serializes forward passes (MergeNet scratch is not re-entrant); in a
+  // unique_ptr so the selector stays movable.
+  std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace dnnspmv

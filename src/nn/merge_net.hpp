@@ -12,6 +12,13 @@
 // the tower parameters are pinned and only the head retrains on the target
 // platform's labels (§6.2). The concatenated tower output is exactly what
 // the paper calls the "CNN codes" of a matrix.
+//
+// Thread safety: forward()/backward()/codes() share mutable per-forward
+// scratch (tower_out_, merged_, head_out_ and the Sequential activation
+// caches), so a MergeNet instance is NOT re-entrant — concurrent callers
+// must serialize. FormatSelector holds the inference mutex that makes its
+// predict paths safe (selector.hpp); anything driving a MergeNet directly
+// owes the same care.
 #pragma once
 
 #include <memory>

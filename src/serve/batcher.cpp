@@ -1,0 +1,58 @@
+#include "serve/batcher.hpp"
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+Batcher::Batcher(const FormatSelector& selector, RequestQueue& queue,
+                 PredictionCache& cache, ServiceMetrics& metrics,
+                 std::size_t max_batch)
+    : selector_(selector),
+      queue_(queue),
+      cache_(cache),
+      metrics_(metrics),
+      max_batch_(max_batch) {
+  DNNSPMV_CHECK(max_batch > 0);
+}
+
+void Batcher::serve_batch(std::vector<PredictRequest>& batch) {
+  if (batch.empty()) return;
+  try {
+    std::vector<std::vector<Tensor>> prepared;
+    prepared.reserve(batch.size());
+    for (PredictRequest& r : batch) prepared.push_back(std::move(r.inputs));
+    const std::vector<std::int32_t> picks =
+        selector_.predict_prepared(prepared);
+    DNNSPMV_CHECK(picks.size() == batch.size());
+    // Cache and metrics first, promises last: once a client unblocks, its
+    // prediction is already cached and the batch counters already reflect
+    // it (snapshot() right after predict() must see this forward).
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      cache_.put(batch[i].fingerprint, picks[i]);
+    metrics_.record_batch(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      batch[i].result.set_value(picks[i]);
+  } catch (...) {
+    // A failed forward fails the whole micro-batch; each waiting client
+    // gets the exception instead of a hang.
+    const std::exception_ptr err = std::current_exception();
+    for (PredictRequest& r : batch) {
+      try {
+        r.result.set_exception(err);
+      } catch (const std::future_error&) {
+        // promise already satisfied — nothing to deliver
+      }
+    }
+  }
+}
+
+void Batcher::run() {
+  std::vector<PredictRequest> batch;
+  while (true) {
+    batch.clear();
+    if (queue_.pop_batch(batch, max_batch_) == 0) return;
+    serve_batch(batch);
+  }
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,46 @@
+// Micro-batching worker: drains the request queue and answers requests
+// with batched CNN inference.
+//
+// Each worker loops on RequestQueue::pop_batch(max_batch): whatever is
+// queued when it wakes (1..max_batch requests) becomes one batched forward
+// pass through FormatSelector::predict_prepared — the batched-tensor path
+// the trainer already uses, not N single-sample forwards. Results go three
+// ways: the waiting client (via the request's promise), the prediction
+// cache (so the next identical matrix never reaches the queue), and the
+// metrics block.
+//
+// Inference inside FormatSelector is internally serialized (see
+// selector.hpp), so multiple workers are safe; extra workers overlap their
+// batch-assembly and promise bookkeeping with each other's forwards.
+#pragma once
+
+#include "core/selector.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request_queue.hpp"
+
+namespace dnnspmv {
+
+class Batcher {
+ public:
+  Batcher(const FormatSelector& selector, RequestQueue& queue,
+          PredictionCache& cache, ServiceMetrics& metrics,
+          std::size_t max_batch);
+
+  /// Worker loop; returns when the queue is closed and fully drained.
+  /// Never throws: inference failures are forwarded to the waiting
+  /// clients through their promises.
+  void run();
+
+  /// Answers one popped batch (exposed for deterministic tests).
+  void serve_batch(std::vector<PredictRequest>& batch);
+
+ private:
+  const FormatSelector& selector_;
+  RequestQueue& queue_;
+  PredictionCache& cache_;
+  ServiceMetrics& metrics_;
+  std::size_t max_batch_;
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,22 @@
+#include "serve/fingerprint.hpp"
+
+#include "common/hash.hpp"
+
+namespace dnnspmv {
+
+std::uint64_t structural_fingerprint(const MatrixStats& s) {
+  // Seed with the discrete identity fields, then fold in the full vector
+  // (which repeats rows/cols/nnz — harmless, hashing is order-sensitive).
+  std::uint64_t h = splitmix64(0x646e6e73706d76ULL);  // "dnnspmv"
+  h = hash_combine(h, static_cast<std::uint64_t>(s.rows));
+  h = hash_combine(h, static_cast<std::uint64_t>(s.cols));
+  h = hash_combine(h, static_cast<std::uint64_t>(s.nnz));
+  for (double v : stats_vector(s)) h = hash_combine(h, hash_double(v));
+  return h;
+}
+
+std::uint64_t structural_fingerprint(const Csr& a) {
+  return structural_fingerprint(compute_stats(a));
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,27 @@
+// Structural fingerprint of a sparse matrix (src/serve cache key).
+//
+// Two matrices share a fingerprint iff they agree on dimensions, nnz, and
+// the full MatrixStats vector (src/sparse/stats.hpp) — i.e. on everything
+// the selection pipeline can see short of the exact sparsity pattern. That
+// is deliberately coarser than pattern identity: matrices the CNN inputs
+// cannot distinguish anyway map to the same key, so a cached prediction is
+// a sound stand-in. Values are ignored (format choice is structural).
+//
+// Cost: one compute_stats pass, O(nnz) — orders of magnitude cheaper than
+// building the CNN representations plus a forward pass.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/stats.hpp"
+
+namespace dnnspmv {
+
+/// Fingerprint from already-computed stats (avoids a second O(nnz) pass
+/// when the caller needs the stats anyway).
+std::uint64_t structural_fingerprint(const MatrixStats& s);
+
+/// Fingerprint of `a`: hash of dims, nnz, and the stats vector.
+std::uint64_t structural_fingerprint(const Csr& a);
+
+}  // namespace dnnspmv

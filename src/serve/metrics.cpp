@@ -1,0 +1,67 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dnnspmv {
+
+double ServiceStats::bucket_upper_seconds(int i) {
+  return static_cast<double>(1ULL << (i + 1)) * 1e-6;
+}
+
+double ServiceStats::latency_quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : latency) total += c;
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    seen += latency[static_cast<std::size_t>(i)];
+    if (seen >= rank) return bucket_upper_seconds(i);
+  }
+  return bucket_upper_seconds(kLatencyBuckets - 1);
+}
+
+void ServiceMetrics::record_batch(std::size_t batch_size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_samples_.fetch_add(batch_size, std::memory_order_relaxed);
+  std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (prev < batch_size &&
+         !max_batch_.compare_exchange_weak(prev, batch_size,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void ServiceMetrics::record_latency(double seconds) {
+  const double us = std::max(seconds, 0.0) * 1e6;
+  // Bucket index = floor(log2(us)) clamped to the table.
+  const auto ticks = static_cast<std::uint64_t>(us);
+  const int idx =
+      ticks == 0
+          ? 0
+          : std::min(kLatencyBuckets - 1,
+                     static_cast<int>(std::bit_width(ticks)) - 1);
+  latency_[static_cast<std::size_t>(idx)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+ServiceStats ServiceMetrics::snapshot(std::uint64_t cache_entries) const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_samples = batched_samples_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.cache_entries = cache_entries;
+  for (int i = 0; i < kLatencyBuckets; ++i)
+    s.latency[static_cast<std::size_t>(i)] =
+        latency_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,85 @@
+// Lock-free service metrics: atomic counters plus a fixed-bucket latency
+// histogram.
+//
+// Writers (client threads, batch workers) touch only relaxed atomics, so
+// instrumentation never serializes the hot path. snapshot() produces a
+// plain ServiceStats value that is internally consistent enough for
+// monitoring (counters are read independently, not under a global lock —
+// the standard trade for zero-cost recording).
+//
+// Latency buckets are powers of two in microseconds: bucket i counts
+// requests with latency in [2^i, 2^(i+1)) µs, bucket 0 additionally takes
+// sub-microsecond requests and the last bucket takes everything slower.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace dnnspmv {
+
+inline constexpr int kLatencyBuckets = 22;  // 1 µs … ~2 s, then overflow
+
+/// Plain-value snapshot of a ServiceMetrics block.
+struct ServiceStats {
+  std::uint64_t requests = 0;        // predictions asked of the service
+  std::uint64_t cache_hits = 0;      // answered from the LRU cache
+  std::uint64_t cache_misses = 0;    // went through the batcher
+  std::uint64_t rejected = 0;        // failed (queue closed / shutdown)
+  std::uint64_t batches = 0;         // forward passes executed
+  std::uint64_t batched_samples = 0; // requests summed over those batches
+  std::uint64_t max_batch = 0;       // largest coalesced batch seen
+  std::uint64_t cache_entries = 0;   // live cache entries at snapshot time
+  std::array<std::uint64_t, kLatencyBuckets> latency{};  // bucket counts
+
+  double hit_rate() const {
+    const std::uint64_t seen = cache_hits + cache_misses;
+    return seen == 0 ? 0.0
+                     : static_cast<double>(cache_hits) /
+                           static_cast<double>(seen);
+  }
+
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_samples) /
+                              static_cast<double>(batches);
+  }
+
+  /// Upper bound in seconds of bucket `i`.
+  static double bucket_upper_seconds(int i);
+
+  /// Approximate latency quantile (q in [0,1]) from the histogram: the
+  /// upper edge of the bucket containing the q-th recorded request.
+  double latency_quantile(double q) const;
+};
+
+class ServiceMetrics {
+ public:
+  void record_hit() {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_miss() {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  void record_batch(std::size_t batch_size);
+  void record_latency(double seconds);
+
+  /// `cache_entries` is supplied by the owner (the cache knows its size).
+  ServiceStats snapshot(std::uint64_t cache_entries = 0) const;
+
+ private:
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_samples_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_{};
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,57 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  DNNSPMV_CHECK_MSG(capacity > 0, "request queue capacity must be positive");
+}
+
+bool RequestQueue::push(PredictRequest&& r) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return closed_ || q_.size() < capacity_; });
+  if (closed_) return false;
+  q_.push_back(std::move(r));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t RequestQueue::pop_batch(std::vector<PredictRequest>& out,
+                                    std::size_t max_batch) {
+  DNNSPMV_CHECK(max_batch > 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !q_.empty(); });
+  const std::size_t n = std::min(max_batch, q_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  lock.unlock();
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,64 @@
+// Bounded MPMC queue of prediction requests.
+//
+// Client threads push prepared requests (representations already built, so
+// the expensive per-matrix work parallelizes across clients); batch workers
+// pop up to max_batch requests at once, which is what turns queue pressure
+// into inference batches: under load a worker drains a full micro-batch per
+// wakeup, when idle it serves singles at minimum latency.
+//
+// push() blocks while the queue is full (backpressure, bounded memory).
+// close() initiates shutdown: subsequent pushes fail fast, poppers drain
+// whatever is queued and then get 0. In-flight requests are therefore
+// always answered, never dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dnnspmv {
+
+/// One queued prediction. `inputs` are the CNN representations of the
+/// matrix (built by the client thread); `result` delivers the predicted
+/// candidate index back to the waiting client.
+struct PredictRequest {
+  std::uint64_t fingerprint = 0;
+  std::vector<Tensor> inputs;
+  std::promise<std::int32_t> result;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Blocks while full. Returns false (without enqueueing) once closed.
+  bool push(PredictRequest&& r);
+
+  /// Pops 1..max_batch requests into `out` (appended). Blocks until at
+  /// least one request is available or the queue is closed and drained;
+  /// returns the number popped (0 only on closed-and-empty).
+  std::size_t pop_batch(std::vector<PredictRequest>& out,
+                        std::size_t max_batch);
+
+  /// Stops accepting pushes and wakes all waiters. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<PredictRequest> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dnnspmv

@@ -1,0 +1,75 @@
+#include "serve/service.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "serve/fingerprint.hpp"
+
+namespace dnnspmv {
+
+SelectionService::SelectionService(const FormatSelector& selector,
+                                   ServiceOptions opts)
+    : selector_(selector),
+      opts_(opts),
+      cache_(opts.cache_capacity, opts.cache_shards),
+      queue_(opts.queue_capacity),
+      batcher_(selector_, queue_, cache_, metrics_, opts.max_batch) {
+  DNNSPMV_CHECK_MSG(selector.trained(),
+                    "SelectionService needs a trained FormatSelector");
+  DNNSPMV_CHECK_MSG(opts.num_workers > 0, "need at least one worker");
+  workers_.reserve(static_cast<std::size_t>(opts.num_workers));
+  for (int i = 0; i < opts.num_workers; ++i)
+    workers_.emplace_back([this] { batcher_.run(); });
+}
+
+SelectionService::~SelectionService() { shutdown(); }
+
+void SelectionService::shutdown() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+std::future<std::int32_t> SelectionService::submit(const Csr& a) {
+  const std::uint64_t fp = structural_fingerprint(a);
+
+  std::int32_t cached = 0;
+  if (cache_.get(fp, cached)) {
+    metrics_.record_hit();
+    std::promise<std::int32_t> ready;
+    ready.set_value(cached);
+    return ready.get_future();
+  }
+  metrics_.record_miss();
+
+  PredictRequest req;
+  req.fingerprint = fp;
+  req.inputs = selector_.prepare_inputs(a);
+  std::future<std::int32_t> fut = req.result.get_future();
+  if (!queue_.push(std::move(req))) {
+    metrics_.record_rejected();
+    std::promise<std::int32_t> failed;
+    failed.set_exception(std::make_exception_ptr(
+        std::runtime_error("SelectionService is shut down")));
+    return failed.get_future();
+  }
+  return fut;
+}
+
+std::int32_t SelectionService::predict_index(const Csr& a) {
+  Timer timer;
+  std::future<std::int32_t> fut = submit(a);
+  const std::int32_t idx = fut.get();
+  metrics_.record_latency(timer.seconds());
+  return idx;
+}
+
+Format SelectionService::predict(const Csr& a) {
+  return candidates()[static_cast<std::size_t>(predict_index(a))];
+}
+
+ServiceStats SelectionService::snapshot() const {
+  return metrics_.snapshot(cache_.size());
+}
+
+}  // namespace dnnspmv

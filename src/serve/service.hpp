@@ -1,0 +1,90 @@
+// SelectionService — concurrent, batched, caching format selection.
+//
+// The serving layer over a trained FormatSelector (ROADMAP: production-
+// scale traffic). Request flow:
+//
+//   client thread                      worker threads (Batcher)
+//   ─────────────                      ────────────────────────
+//   fingerprint(matrix)
+//   cache lookup ── hit ─→ answer
+//        │ miss
+//   build CNN inputs
+//   push PredictRequest ─→ [bounded MPMC queue] ─→ pop ≤ max_batch
+//   wait on future                       one batched forward pass
+//        ↑                               fulfill promises, fill cache,
+//        └───────────── answer ──────────record metrics
+//
+// Fingerprinting and representation-building run in the client thread, so
+// that per-request work scales with the number of clients; only the CNN
+// forward funnels through the workers, where queue pressure coalesces into
+// micro-batches. Repeated matrices are answered from the sharded LRU cache
+// without touching the queue at all.
+//
+// Thread safety: predict()/predict_index()/submit()/snapshot() may be
+// called concurrently from any number of threads. shutdown() (or
+// destruction) drains in-flight requests before returning; requests that
+// arrive afterwards fail with std::runtime_error.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "serve/batcher.hpp"
+
+namespace dnnspmv {
+
+struct ServiceOptions {
+  int num_workers = 2;            // batch-inference worker threads
+  std::size_t max_batch = 16;     // micro-batch coalescing limit
+  std::size_t queue_capacity = 256;
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+};
+
+class SelectionService {
+ public:
+  /// `selector` must be trained and must outlive the service.
+  explicit SelectionService(const FormatSelector& selector,
+                            ServiceOptions opts = {});
+  ~SelectionService();
+
+  SelectionService(const SelectionService&) = delete;
+  SelectionService& operator=(const SelectionService&) = delete;
+
+  /// Blocking predict; the end-to-end latency lands in the histogram.
+  Format predict(const Csr& a);
+  std::int32_t predict_index(const Csr& a);
+
+  /// Fire-and-wait-later: a cache hit yields an already-ready future, a
+  /// miss enqueues. The request carries the matrix's CNN representations
+  /// (built here, in the calling thread), so the caller may drop `a` as
+  /// soon as submit returns.
+  std::future<std::int32_t> submit(const Csr& a);
+
+  /// Closes the queue, drains in-flight requests, joins workers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+  /// Counters + latency histogram; cheap, callable any time.
+  ServiceStats snapshot() const;
+
+  const std::vector<Format>& candidates() const {
+    return selector_.candidates();
+  }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  const FormatSelector& selector_;
+  ServiceOptions opts_;
+  PredictionCache cache_;
+  RequestQueue queue_;
+  ServiceMetrics metrics_;
+  Batcher batcher_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace dnnspmv

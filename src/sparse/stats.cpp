@@ -114,4 +114,31 @@ MatrixStats compute_stats(const Csr& a) {
   return s;
 }
 
+std::vector<double> stats_vector(const MatrixStats& s) {
+  return {
+      static_cast<double>(s.rows),
+      static_cast<double>(s.cols),
+      static_cast<double>(s.nnz),
+      s.density,
+      s.row_nnz_mean,
+      s.row_nnz_sd,
+      s.row_nnz_cv,
+      static_cast<double>(s.row_nnz_min),
+      static_cast<double>(s.row_nnz_max),
+      s.max_over_mean,
+      static_cast<double>(s.empty_rows),
+      static_cast<double>(s.ndiags),
+      s.dia_fill,
+      s.diag_frac,
+      s.mean_dist,
+      static_cast<double>(s.bandwidth),
+      s.ell_fill,
+      s.bsr_fill,
+      static_cast<double>(s.bsr_blocks),
+      s.col_gap,
+      static_cast<double>(s.hyb_width),
+      static_cast<double>(s.hyb_tail),
+  };
+}
+
 }  // namespace dnnspmv

@@ -51,4 +51,9 @@ struct MatrixStats {
 
 MatrixStats compute_stats(const Csr& a);
 
+/// Every field of `s` flattened to doubles in declaration order. The single
+/// source of truth for code that consumes the stats as a vector — the
+/// structural fingerprint (src/serve/fingerprint.hpp) hashes exactly this.
+std::vector<double> stats_vector(const MatrixStats& s);
+
 }  // namespace dnnspmv
