@@ -1,6 +1,12 @@
 #include "bench_common.hpp"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <cstdio>
+
+#include "common/timer.hpp"
+#include "tensor/gemm.hpp"
 
 namespace dnnspmv::bench {
 
@@ -158,6 +164,78 @@ void print_quality_table(const std::string& title,
 
 void print_vs_paper(const std::string& metric, double paper, double ours) {
   std::printf("  %-52s paper=%.3f ours=%.3f\n", metric.c_str(), paper, ours);
+}
+
+namespace {
+
+// Verbatim copy of the seed's sgemm (scalar blocked loop, serial beta
+// scaling) — the "before" of the packed-kernel speedup numbers. Kept here
+// so the comparison survives the library kernel evolving further.
+void seed_sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                const float* a, const float* b, float beta, float* c) {
+  constexpr std::int64_t kBlockK = 256;
+  constexpr std::int64_t kBlockN = 512;
+  if (beta != 1.0f) {
+    if (beta == 0.0f)
+      std::fill(c, c + m * n, 0.0f);
+    else
+      for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k, k0 + kBlockK);
+      for (std::int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+        const std::int64_t n1 = std::min(n, n0 + kBlockN);
+        for (std::int64_t p = k0; p < k1; ++p) {
+          const float av = alpha * a[i * k + p];
+          if (av == 0.0f) continue;
+          const float* brow = b + p * n;
+          for (std::int64_t j = n0; j < n1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<GemmShapeResult> bench_gemm_shapes(
+    const std::vector<std::array<std::int64_t, 3>>& shapes, int reps) {
+  const int prev_threads = omp_get_max_threads();
+  omp_set_num_threads(1);  // single-thread kernel throughput
+  Rng rng(1234);
+  std::vector<GemmShapeResult> out;
+  for (const auto& [m, n, k] : shapes) {
+    Tensor a({m, k}), b({k, n}), c({m, n});
+    a.fill_uniform(rng, -1.0f, 1.0f);
+    b.fill_uniform(rng, -1.0f, 1.0f);
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) * static_cast<double>(k);
+    const double t_seed = time_kernel(
+        [&] { seed_sgemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data()); },
+        1, reps);
+    const double t_packed = time_kernel(
+        [&] { sgemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data()); }, 1,
+        reps);
+    out.push_back({m, n, k, flops / t_seed * 1e-9, flops / t_packed * 1e-9,
+                   t_seed / t_packed});
+  }
+  omp_set_num_threads(prev_threads);
+  return out;
+}
+
+std::vector<std::array<std::int64_t, 3>> merge_net_gemm_shapes() {
+  // Default selector CNN on the 32×16 histogram representation, batch 32:
+  //   conv1: [12, 32*512, 9]    (1→12 ch, 3×3, 32×16 input)
+  //   conv2: [24, 32*32, 108]   (12→24 ch, 3×3 s2, 16×8 input)
+  //   head:  [32, 96, 384] and [32, 4, 96]
+  // plus the ISSUE-2 reference conv shape 32×16384×75.
+  return {{12, 16384, 9},
+          {24, 1024, 108},
+          {32, 96, 384},
+          {32, 16384, 75}};
 }
 
 }  // namespace dnnspmv::bench

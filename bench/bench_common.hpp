@@ -12,6 +12,7 @@
 //   --folds <k>        cross-validation folds (default 3; paper used 5)
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -77,5 +78,22 @@ void print_quality_table(const std::string& title,
 
 /// "paper=X ours=Y" one-liner.
 void print_vs_paper(const std::string& metric, double paper, double ours);
+
+/// Single-thread GEMM throughput of the packed kernel vs a copy of the
+/// seed's naive blocked kernel, per {m, n, k} shape. Shared by bench_gemm
+/// (full sweep) and bench_overhead (MergeNet shapes for BENCH_infer.json).
+struct GemmShapeResult {
+  std::int64_t m, n, k;
+  double seed_gflops;
+  double packed_gflops;
+  double speedup;  // packed / seed
+};
+
+std::vector<GemmShapeResult> bench_gemm_shapes(
+    const std::vector<std::array<std::int64_t, 3>>& shapes, int reps);
+
+/// The conv/dense GEMM shapes of the default MergeNet on the histogram
+/// representation (batch 32), plus the ISSUE-2 reference shape 32×16384×75.
+std::vector<std::array<std::int64_t, 3>> merge_net_gemm_shapes();
 
 }  // namespace dnnspmv::bench

@@ -1,0 +1,67 @@
+// GEMM micro-benchmark: packed/register-blocked kernel (tensor/gemm.cpp)
+// vs the seed's naive blocked loop, single thread, on the MergeNet layer
+// shapes plus square sweeps. Emits BENCH_gemm.json with GFLOP/s per shape
+// so the bench trajectory has machine-readable data points.
+//
+// Flags: --reps <r> (default 7), --json <path> (default BENCH_gemm.json).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dnnspmv;
+using namespace dnnspmv::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int reps = static_cast<int>(cli.get_int("reps", 7));
+  const std::string json_path = cli.get_string("json", "BENCH_gemm.json");
+  cli.check_unused();
+
+  std::vector<std::array<std::int64_t, 3>> shapes = merge_net_gemm_shapes();
+  shapes.push_back({128, 128, 128});
+  shapes.push_back({256, 256, 256});
+  shapes.push_back({512, 512, 512});
+  shapes.push_back({96, 4096, 192});
+
+  std::printf("=== packed GEMM vs seed kernel (single thread) ===\n\n");
+  std::printf("  %6s %6s %6s %12s %12s %9s\n", "m", "n", "k", "seed GF/s",
+              "packed GF/s", "speedup");
+  const std::vector<GemmShapeResult> results =
+      bench_gemm_shapes(shapes, reps);
+  double min_speedup_merge = 1e30;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GemmShapeResult& r = results[i];
+    std::printf("  %6lld %6lld %6lld %12.2f %12.2f %8.2fx\n",
+                static_cast<long long>(r.m), static_cast<long long>(r.n),
+                static_cast<long long>(r.k), r.seed_gflops, r.packed_gflops,
+                r.speedup);
+    if (i < merge_net_gemm_shapes().size())
+      min_speedup_merge = std::min(min_speedup_merge, r.speedup);
+  }
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"bench\": \"gemm\",\n  \"shapes\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const GemmShapeResult& r = results[i];
+      std::fprintf(f,
+                   "    {\"m\": %lld, \"n\": %lld, \"k\": %lld, "
+                   "\"seed_gflops\": %.3f, \"packed_gflops\": %.3f, "
+                   "\"speedup\": %.3f}%s\n",
+                   static_cast<long long>(r.m), static_cast<long long>(r.n),
+                   static_cast<long long>(r.k), r.seed_gflops,
+                   r.packed_gflops, r.speedup,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"min_mergenet_speedup\": %.3f\n}\n",
+                 min_speedup_merge);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  // ISSUE 2 acceptance: ≥3× single-thread speedup on MergeNet shapes.
+  std::printf("min MergeNet-shape speedup: %.2fx (target 3x): %s\n",
+              min_speedup_merge,
+              min_speedup_merge >= 3.0 ? "PASS" : "FAIL");
+  return min_speedup_merge >= 3.0 ? 0 : 1;
+}

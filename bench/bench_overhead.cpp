@@ -5,6 +5,10 @@
 // Paper (CPU): CNN rep-building 0.96x + inference 0.13x = 1.09x total;
 // DT feature extraction 3.4x + tree walk 0.0085x = 3.4x total. Format
 // conversion costs "a number of SpMV iterations" — we measure those too.
+//
+// Also emits BENCH_infer.json (--json <path>): single-thread GFLOP/s of the
+// packed GEMM on the MergeNet layer shapes plus the measured end-to-end
+// per-matrix inference latency, as machine-readable trajectory points.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -24,6 +28,7 @@ int main(int argc, char** argv) {
   cfg.n = cli.get_int("overhead-n", 40);
   cfg.min_dim = static_cast<index_t>(cli.get_int("overhead-min-dim", 4096));
   cfg.max_dim = static_cast<index_t>(cli.get_int("overhead-max-dim", 16384));
+  const std::string json_path = cli.get_string("json", "BENCH_infer.json");
   cli.check_unused();
 
   std::printf("=== §7.6: prediction overhead vs one CSR SpMV iteration ===\n");
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
   sel.fit(lc.labeled, platform->formats());
 
   double sum_rep = 0.0, sum_inf = 0.0, sum_feat = 0.0, sum_tree = 0.0;
+  double sum_rep_s = 0.0, sum_inf_s = 0.0;  // absolute seconds per matrix
   std::vector<double> conv_sums(cpu_formats().size(), 0.0);
   std::int64_t measured = 0;
 
@@ -77,6 +83,8 @@ int main(int argc, char** argv) {
 
     sum_rep += t_rep / t_spmv;
     sum_inf += t_inf / t_spmv;
+    sum_rep_s += t_rep;
+    sum_inf_s += t_inf;
     sum_feat += t_feat / t_spmv;
     sum_tree += t_tree / t_spmv;
     for (std::size_t f = 0; f < cpu_formats().size(); ++f) {
@@ -105,6 +113,40 @@ int main(int argc, char** argv) {
   for (std::size_t f = 0; f < cpu_formats().size(); ++f)
     std::printf("    CSR -> %-5s %10.1f\n",
                 format_name(cpu_formats()[f]).c_str(), conv_sums[f] * inv);
+
+  // Machine-readable trajectory point: packed-GEMM throughput on the
+  // MergeNet layer shapes + the measured per-matrix inference latency.
+  const std::vector<GemmShapeResult> gemm =
+      bench_gemm_shapes(merge_net_gemm_shapes(), 3);
+  std::printf("\n  packed GEMM on MergeNet shapes (single thread):\n");
+  for (const GemmShapeResult& r : gemm)
+    std::printf("    %lldx%lldx%lld  %7.2f GFLOP/s  (%.2fx over seed)\n",
+                static_cast<long long>(r.m), static_cast<long long>(r.n),
+                static_cast<long long>(r.k), r.packed_gflops, r.speedup);
+  if (FILE* jf = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(jf, "{\n  \"bench\": \"infer\",\n  \"gemm_shapes\": [\n");
+    for (std::size_t i = 0; i < gemm.size(); ++i) {
+      const GemmShapeResult& r = gemm[i];
+      std::fprintf(jf,
+                   "    {\"m\": %lld, \"n\": %lld, \"k\": %lld, "
+                   "\"seed_gflops\": %.3f, \"packed_gflops\": %.3f, "
+                   "\"speedup\": %.3f}%s\n",
+                   static_cast<long long>(r.m), static_cast<long long>(r.n),
+                   static_cast<long long>(r.k), r.seed_gflops,
+                   r.packed_gflops, r.speedup,
+                   i + 1 < gemm.size() ? "," : "");
+    }
+    std::fprintf(jf,
+                 "  ],\n  \"matrices_measured\": %lld,\n"
+                 "  \"per_matrix_inference_latency_s\": %.6e,\n"
+                 "  \"per_matrix_representation_latency_s\": %.6e,\n"
+                 "  \"inference_spmv_iters\": %.4f,\n"
+                 "  \"representation_spmv_iters\": %.4f\n}\n",
+                 static_cast<long long>(measured), sum_inf_s * inv,
+                 sum_rep_s * inv, sum_inf * inv, sum_rep * inv);
+    std::fclose(jf);
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
 
   // Shape: DT feature extraction costs more than CNN representation
   // building, and both prediction paths are O(few SpMV iterations).

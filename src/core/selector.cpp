@@ -68,7 +68,7 @@ std::vector<Tensor> FormatSelector::prepare_inputs(const Csr& a) const {
 }
 
 std::vector<std::int32_t> FormatSelector::predict_prepared(
-    const std::vector<std::vector<Tensor>>& prepared) const {
+    const std::vector<std::vector<Tensor>>& prepared, Workspace* ws) const {
   DNNSPMV_CHECK_MSG(net_, "predict on an untrained FormatSelector");
   if (prepared.empty()) return {};
   Dataset batch;
@@ -83,7 +83,7 @@ std::vector<std::int32_t> FormatSelector::predict_prepared(
   // the representation work above.
   std::lock_guard<std::mutex> lock(*infer_mu_);
   return predict_cnn(*net_, batch, num_net_inputs(make_spec()),
-                     static_cast<int>(prepared.size()));
+                     static_cast<int>(prepared.size()), ws);
 }
 
 std::int32_t FormatSelector::predict_index(const Csr& a) const {

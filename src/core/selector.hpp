@@ -70,8 +70,12 @@ class FormatSelector {
 
   /// Argmax candidate indices for pre-built representations, one batched
   /// forward pass. The micro-batching backend of serve::SelectionService.
+  /// `ws` optionally supplies the forward-pass scratch workspace (serve
+  /// workers keep one per thread so miss-path inference reuses warm
+  /// buffers); null falls back to the net's own.
   std::vector<std::int32_t> predict_prepared(
-      const std::vector<std::vector<Tensor>>& prepared) const;
+      const std::vector<std::vector<Tensor>>& prepared,
+      Workspace* ws = nullptr) const;
 
   const std::vector<Format>& candidates() const { return candidates_; }
   const SelectorOptions& options() const { return opts_; }

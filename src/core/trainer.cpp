@@ -62,6 +62,7 @@ TrainHistory train_cnn(MergeNet& net, const Dataset& data, int net_inputs,
   DNNSPMV_CHECK(!data.samples.empty());
   TrainHistory hist;
   Adam opt(net.params(), cfg.lr);
+  Workspace ws;  // one scratch workspace for the whole training run
   Rng rng(cfg.seed);
   std::vector<std::int32_t> order(data.samples.size());
   std::iota(order.begin(), order.end(), 0);
@@ -87,10 +88,10 @@ TrainHistory train_cnn(MergeNet& net, const Dataset& data, int net_inputs,
         labels.push_back(data.samples[static_cast<std::size_t>(i)].label);
 
       Tensor logits;
-      net.forward(inputs, logits, /*training=*/true);
+      net.forward(inputs, logits, /*training=*/true, ws);
       Tensor grad;
       const double loss = softmax_cross_entropy(logits, labels, grad);
-      net.backward(inputs, grad);
+      net.backward(inputs, grad, ws);
       opt.step();
 
       hist.step_loss.push_back(loss);
@@ -106,7 +107,8 @@ TrainHistory train_cnn(MergeNet& net, const Dataset& data, int net_inputs,
 }
 
 std::vector<std::int32_t> predict_cnn(MergeNet& net, const Dataset& data,
-                                      int net_inputs, int batch) {
+                                      int net_inputs, int batch,
+                                      Workspace* ws) {
   std::vector<std::int32_t> pred;
   pred.reserve(data.samples.size());
   for (std::size_t off = 0; off < data.samples.size();
@@ -118,7 +120,10 @@ std::vector<std::int32_t> predict_cnn(MergeNet& net, const Dataset& data,
       idx.push_back(static_cast<std::int32_t>(i));
     const std::vector<Tensor> inputs = assemble_batch(data, idx, net_inputs);
     Tensor logits;
-    net.forward(inputs, logits, /*training=*/false);
+    if (ws)
+      net.forward(inputs, logits, /*training=*/false, *ws);
+    else
+      net.forward(inputs, logits, /*training=*/false);
     for (std::int32_t p : argmax_rows(logits)) pred.push_back(p);
   }
   return pred;

@@ -33,9 +33,12 @@ std::vector<Tensor> assemble_batch(const Dataset& data,
 TrainHistory train_cnn(MergeNet& net, const Dataset& data,
                        int net_inputs, const TrainConfig& cfg);
 
-/// Argmax predictions for every sample.
+/// Argmax predictions for every sample. `ws` optionally supplies the
+/// scratch workspace for the forward passes (serve workers pass a
+/// per-thread one); null falls back to the net's own.
 std::vector<std::int32_t> predict_cnn(MergeNet& net, const Dataset& data,
-                                      int net_inputs, int batch = 64);
+                                      int net_inputs, int batch = 64,
+                                      Workspace* ws = nullptr);
 
 /// Fraction of samples predicted correctly.
 double accuracy_cnn(MergeNet& net, const Dataset& data, int net_inputs);

@@ -2,8 +2,8 @@
 
 namespace dnnspmv {
 
-void ReLU::forward(const Tensor& in, Tensor& out, bool) {
-  out.resize(in.shape());
+void ReLU::forward(const Tensor& in, Tensor& out, bool, Workspace&) {
+  out.ensure(in.shape());
   const std::int64_t n = in.size();
   const float* src = in.data();
   float* dst = out.data();
@@ -11,8 +11,8 @@ void ReLU::forward(const Tensor& in, Tensor& out, bool) {
 }
 
 void ReLU::backward(const Tensor& in, const Tensor&, const Tensor& grad_out,
-                    Tensor& grad_in) {
-  grad_in.resize(in.shape());
+                    Tensor& grad_in, Workspace&) {
+  grad_in.ensure(in.shape());
   const std::int64_t n = in.size();
   const float* src = in.data();
   const float* go = grad_out.data();

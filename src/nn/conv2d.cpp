@@ -1,10 +1,20 @@
 #include "nn/conv2d.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/gemm.hpp"
 
 namespace dnnspmv {
+namespace {
+
+// Workspace slots: the staging matrices of the batched lowering.
+constexpr int kColSlot = 0;    // [psz, batch*opix] lowered input
+constexpr int kOutMatSlot = 1; // [out_c, batch*opix] GEMM output
+constexpr int kGoMatSlot = 2;  // [out_c, batch*opix] gathered grad_out
+constexpr int kGColSlot = 3;   // [psz, batch*opix] column gradients
+
+}  // namespace
 
 Conv2D::Conv2D(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t k, std::int64_t stride, std::int64_t pad,
@@ -40,56 +50,66 @@ std::vector<std::int64_t> Conv2D::output_shape(
   return {in[0], out_channels_, g.out_h(), g.out_w()};
 }
 
-void Conv2D::forward(const Tensor& in, Tensor& out, bool) {
+void Conv2D::forward(const Tensor& in, Tensor& out, bool, Workspace& ws) {
   const ConvGeom g = geom(in.shape());
   const std::int64_t batch = in.dim(0);
   const std::int64_t opix = g.out_h() * g.out_w();
   const std::int64_t psz = g.patch_size();
-  out.resize(output_shape(in.shape()));
+  const std::int64_t ncols = batch * opix;
+  out.ensure(output_shape(in.shape()));
 
-  Tensor col({psz, opix});
-  for (std::int64_t n = 0; n < batch; ++n) {
-    im2col(g, in.data() + n * g.channels * g.height * g.width, col.data());
-    float* dst = out.data() + n * out_channels_ * opix;
-    sgemm(out_channels_, opix, psz, 1.0f, weight_.value.data(), col.data(),
-          0.0f, dst);
-    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
-      const float b = bias_.value[oc];
-      float* row = dst + oc * opix;
-      for (std::int64_t p = 0; p < opix; ++p) row[p] += b;
-    }
-  }
+  // Lower the whole batch, run one wide GEMM with the bias in the
+  // epilogue, then scatter [oc, n*opix+p] rows back to NCHW.
+  float* col = ws.get(this, kColSlot, psz * ncols);
+  float* out_mat = ws.get(this, kOutMatSlot, out_channels_ * ncols);
+  im2col_batch(g, batch, in.data(), col);
+  sgemm_row_bias(out_channels_, ncols, psz, 1.0f, weight_.value.data(), col,
+                 0.0f, out_mat, bias_.value.data());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc)
+      std::memcpy(out.data() + (n * out_channels_ + oc) * opix,
+                  out_mat + oc * ncols + n * opix,
+                  static_cast<std::size_t>(opix) * sizeof(float));
 }
 
 void Conv2D::backward(const Tensor& in, const Tensor&, const Tensor& grad_out,
-                      Tensor& grad_in) {
+                      Tensor& grad_in, Workspace& ws) {
   const ConvGeom g = geom(in.shape());
   const std::int64_t batch = in.dim(0);
   const std::int64_t opix = g.out_h() * g.out_w();
   const std::int64_t psz = g.patch_size();
-  const std::int64_t imsz = g.channels * g.height * g.width;
-  grad_in.resize(in.shape());
+  const std::int64_t ncols = batch * opix;
+  grad_in.ensure(in.shape());
 
-  Tensor col({psz, opix});
-  Tensor gcol({psz, opix});
-  for (std::int64_t n = 0; n < batch; ++n) {
-    const float* go = grad_out.data() + n * out_channels_ * opix;
-    // dW += dOut * col^T  — re-lower the input instead of caching the
-    // (large) col matrix from forward.
-    im2col(g, in.data() + n * imsz, col.data());
-    sgemm_bt(out_channels_, psz, opix, 1.0f, go, col.data(), 1.0f,
-             weight_.grad.data());
-    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
-      double acc = 0.0;
-      const float* row = go + oc * opix;
-      for (std::int64_t p = 0; p < opix; ++p) acc += row[p];
-      bias_.grad[oc] += static_cast<float>(acc);
-    }
-    // dCol = W^T * dOut, then scatter back to the image.
-    sgemm_at(psz, opix, out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
-             gcol.data());
-    col2im(g, gcol.data(), grad_in.data() + n * imsz);
+  // Re-lower the input instead of caching the (large) col matrix from
+  // forward, and gather grad_out from NCHW into the matching [oc, ncols]
+  // matrix so both gradient GEMMs run once over the whole batch.
+  float* col = ws.get(this, kColSlot, psz * ncols);
+  float* go_mat = ws.get(this, kGoMatSlot, out_channels_ * ncols);
+  float* gcol = ws.get(this, kGColSlot, psz * ncols);
+  im2col_batch(g, batch, in.data(), col);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc)
+      std::memcpy(go_mat + oc * ncols + n * opix,
+                  grad_out.data() + (n * out_channels_ + oc) * opix,
+                  static_cast<std::size_t>(opix) * sizeof(float));
+
+  // dW += dOut * col^T.
+  sgemm_bt(out_channels_, psz, ncols, 1.0f, go_mat, col, 1.0f,
+           weight_.grad.data());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+    double acc = 0.0;
+    const float* row = go_mat + oc * ncols;
+    for (std::int64_t p = 0; p < ncols; ++p) acc += row[p];
+    bias_.grad[oc] += static_cast<float>(acc);
   }
+  // dCol = W^T * dOut, then scatter back to the images.
+  sgemm_at(psz, ncols, out_channels_, 1.0f, weight_.value.data(), go_mat,
+           0.0f, gcol);
+  col2im_batch(g, batch, gcol, grad_in.data());
 }
 
 }  // namespace dnnspmv

@@ -1,4 +1,12 @@
 // 2-D convolution layer (NCHW), lowered to GEMM via im2col.
+//
+// The whole batch is lowered at once: forward builds a single
+// [patch_size, batch*out_pixels] column matrix and issues ONE GEMM with the
+// bias folded into its epilogue, so parallelism scales with the batch
+// rather than just out_channels. The col/staging matrices live in the
+// Workspace and are reused across calls. Batched and per-sample forward
+// produce bitwise-identical outputs (the GEMM's per-column accumulation
+// order is position-independent; tests/test_gemm_property.cpp holds this).
 #pragma once
 
 #include "nn/layer.hpp"
@@ -12,9 +20,12 @@ class Conv2D final : public Layer {
   Conv2D(std::int64_t in_channels, std::int64_t out_channels, std::int64_t k,
          std::int64_t stride, std::int64_t pad, Rng& rng);
 
-  void forward(const Tensor& in, Tensor& out, bool training) override;
+  using Layer::forward;
+  using Layer::backward;
+  void forward(const Tensor& in, Tensor& out, bool training,
+               Workspace& ws) override;
   void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
-                Tensor& grad_in) override;
+                Tensor& grad_in, Workspace& ws) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "conv2d"; }
   std::vector<std::int64_t> output_shape(

@@ -26,24 +26,20 @@ std::vector<std::int64_t> Dense::output_shape(
   return {in[0], out_features_};
 }
 
-void Dense::forward(const Tensor& in, Tensor& out, bool) {
+void Dense::forward(const Tensor& in, Tensor& out, bool, Workspace&) {
   const auto os = output_shape(in.shape());
-  out.resize(os);
+  out.ensure(os);
   const std::int64_t batch = in.dim(0);
-  // out[b, o] = sum_i in[b, i] * W[o, i] + b[o]
-  sgemm_bt(batch, out_features_, in_features_, 1.0f, in.data(),
-           weight_.value.data(), 0.0f, out.data());
-  for (std::int64_t b = 0; b < batch; ++b) {
-    float* row = out.data() + b * out_features_;
-    for (std::int64_t o = 0; o < out_features_; ++o)
-      row[o] += bias_.value[o];
-  }
+  // out[b, o] = sum_i in[b, i] * W[o, i] + b[o], bias in the epilogue.
+  sgemm_bt_col_bias(batch, out_features_, in_features_, 1.0f, in.data(),
+                    weight_.value.data(), 0.0f, out.data(),
+                    bias_.value.data());
 }
 
 void Dense::backward(const Tensor& in, const Tensor&, const Tensor& grad_out,
-                     Tensor& grad_in) {
+                     Tensor& grad_in, Workspace&) {
   const std::int64_t batch = in.dim(0);
-  grad_in.resize(in.shape());
+  grad_in.ensure(in.shape());
   // dW[o, i] += sum_b go[b, o] * in[b, i]  (= go^T * in)
   sgemm_at(out_features_, in_features_, batch, 1.0f, grad_out.data(),
            in.data(), 1.0f, weight_.grad.data());

@@ -1,4 +1,5 @@
 // Fully connected layer: out = in * W^T + b over a [batch, features] input.
+// The bias add is folded into the GEMM epilogue (sgemm_bt_col_bias).
 #pragma once
 
 #include "nn/layer.hpp"
@@ -9,9 +10,12 @@ class Dense final : public Layer {
  public:
   Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng);
 
-  void forward(const Tensor& in, Tensor& out, bool training) override;
+  using Layer::forward;
+  using Layer::backward;
+  void forward(const Tensor& in, Tensor& out, bool training,
+               Workspace& ws) override;
   void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
-                Tensor& grad_in) override;
+                Tensor& grad_in, Workspace& ws) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "dense"; }
   std::vector<std::int64_t> output_shape(

@@ -4,8 +4,9 @@
 
 namespace dnnspmv {
 
-void Dropout::forward(const Tensor& in, Tensor& out, bool training) {
-  out.resize(in.shape());
+void Dropout::forward(const Tensor& in, Tensor& out, bool training,
+                      Workspace&) {
+  out.ensure(in.shape());
   const std::int64_t n = in.size();
   if (!training || rate_ == 0.0) {
     std::copy(in.data(), in.data() + n, out.data());
@@ -21,8 +22,9 @@ void Dropout::forward(const Tensor& in, Tensor& out, bool training) {
 }
 
 void Dropout::backward(const Tensor& in, const Tensor&,
-                       const Tensor& grad_out, Tensor& grad_in) {
-  grad_in.resize(in.shape());
+                       const Tensor& grad_out, Tensor& grad_in,
+                       Workspace&) {
+  grad_in.ensure(in.shape());
   const std::int64_t n = in.size();
   DNNSPMV_CHECK(static_cast<std::int64_t>(mask_.size()) == n);
   for (std::int64_t i = 0; i < n; ++i) grad_in[i] = grad_out[i] * mask_[i];

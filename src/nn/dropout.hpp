@@ -11,9 +11,12 @@ class Dropout final : public Layer {
     DNNSPMV_CHECK(rate >= 0.0 && rate < 1.0);
   }
 
-  void forward(const Tensor& in, Tensor& out, bool training) override;
+  using Layer::forward;
+  using Layer::backward;
+  void forward(const Tensor& in, Tensor& out, bool training,
+               Workspace& ws) override;
   void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
-                Tensor& grad_in) override;
+                Tensor& grad_in, Workspace& ws) override;
   std::string name() const override { return "dropout"; }
   std::vector<std::int64_t> output_shape(
       const std::vector<std::int64_t>& in) const override {

@@ -12,14 +12,15 @@ std::vector<std::int64_t> Flatten::output_shape(
   return {in[0], f};
 }
 
-void Flatten::forward(const Tensor& in, Tensor& out, bool) {
-  out.resize(output_shape(in.shape()));
+void Flatten::forward(const Tensor& in, Tensor& out, bool, Workspace&) {
+  out.ensure(output_shape(in.shape()));
   std::copy(in.data(), in.data() + in.size(), out.data());
 }
 
 void Flatten::backward(const Tensor& in, const Tensor&,
-                       const Tensor& grad_out, Tensor& grad_in) {
-  grad_in.resize(in.shape());
+                       const Tensor& grad_out, Tensor& grad_in,
+                       Workspace&) {
+  grad_in.ensure(in.shape());
   std::copy(grad_out.data(), grad_out.data() + grad_out.size(),
             grad_in.data());
 }

@@ -33,21 +33,31 @@ void MergeNet::flatten_tower_outputs(Tensor& merged) {
 
 void MergeNet::forward(const std::vector<Tensor>& inputs, Tensor& logits,
                        bool training) {
+  forward(inputs, logits, training, ws_);
+}
+
+void MergeNet::forward(const std::vector<Tensor>& inputs, Tensor& logits,
+                       bool training, Workspace& ws) {
   DNNSPMV_CHECK_MSG(inputs.size() == towers_.size(),
                     "expected " << towers_.size() << " inputs, got "
                                 << inputs.size());
   tower_out_.resize(towers_.size());
   for (std::size_t t = 0; t < towers_.size(); ++t)
-    towers_[t]->forward(inputs[t], tower_out_[t], training);
+    towers_[t]->forward(inputs[t], tower_out_[t], training, ws);
   flatten_tower_outputs(merged_);
-  head_.forward(merged_, head_out_, training);
+  head_.forward(merged_, head_out_, training, ws);
   logits = head_out_;
 }
 
 void MergeNet::backward(const std::vector<Tensor>& inputs,
                         const Tensor& grad_logits) {
+  backward(inputs, grad_logits, ws_);
+}
+
+void MergeNet::backward(const std::vector<Tensor>& inputs,
+                        const Tensor& grad_logits, Workspace& ws) {
   Tensor grad_merged;
-  head_.backward(merged_, head_out_, grad_logits, grad_merged);
+  head_.backward(merged_, head_out_, grad_logits, grad_merged, ws);
 
   const std::int64_t batch = merged_.dim(0);
   const std::int64_t total = merged_.dim(1);
@@ -59,7 +69,7 @@ void MergeNet::backward(const std::vector<Tensor>& inputs,
       std::copy(src, src + feat, gslice.data() + b * feat);
     }
     Tensor gin;  // input gradient unused — inputs are data, not activations
-    towers_[t]->backward(inputs[t], tower_out_[t], gslice, gin);
+    towers_[t]->backward(inputs[t], tower_out_[t], gslice, gin, ws);
     off += static_cast<std::size_t>(feat);
   }
 }
@@ -83,10 +93,15 @@ void MergeNet::unfreeze_all() {
 }
 
 void MergeNet::codes(const std::vector<Tensor>& inputs, Tensor& out) {
+  codes(inputs, out, ws_);
+}
+
+void MergeNet::codes(const std::vector<Tensor>& inputs, Tensor& out,
+                     Workspace& ws) {
   DNNSPMV_CHECK(inputs.size() == towers_.size());
   tower_out_.resize(towers_.size());
   for (std::size_t t = 0; t < towers_.size(); ++t)
-    towers_[t]->forward(inputs[t], tower_out_[t], /*training=*/false);
+    towers_[t]->forward(inputs[t], tower_out_[t], /*training=*/false, ws);
   flatten_tower_outputs(out);
 }
 

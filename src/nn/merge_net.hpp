@@ -42,12 +42,18 @@ class MergeNet {
   Sequential& tower(std::size_t i) { return *towers_.at(i); }
 
   /// Forward pass over a batch; inputs[i] feeds tower i. All inputs must
-  /// share the same batch dimension. Returns logits [batch, classes].
+  /// share the same batch dimension. Returns logits [batch, classes]. The
+  /// Workspace overloads let callers (trainer, serve workers) supply their
+  /// own scratch; the plain ones fall back to a net-owned workspace.
   void forward(const std::vector<Tensor>& inputs, Tensor& logits,
                bool training);
+  void forward(const std::vector<Tensor>& inputs, Tensor& logits,
+               bool training, Workspace& ws);
 
   /// Backward from logits gradient; parameter gradients accumulate.
   void backward(const std::vector<Tensor>& inputs, const Tensor& grad_logits);
+  void backward(const std::vector<Tensor>& inputs, const Tensor& grad_logits,
+                Workspace& ws);
 
   std::vector<Param*> params();
   std::vector<Param*> head_params() { return head_.params(); }
@@ -57,6 +63,7 @@ class MergeNet {
 
   /// The concatenated flattened tower outputs for a batch ("CNN codes").
   void codes(const std::vector<Tensor>& inputs, Tensor& out);
+  void codes(const std::vector<Tensor>& inputs, Tensor& out, Workspace& ws);
 
  private:
   void flatten_tower_outputs(Tensor& merged);
@@ -67,6 +74,7 @@ class MergeNet {
   std::vector<Tensor> tower_out_;
   Tensor merged_;
   Tensor head_out_;
+  Workspace ws_;  // fallback scratch for the workspace-less overloads
 };
 
 }  // namespace dnnspmv

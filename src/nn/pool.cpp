@@ -13,9 +13,9 @@ std::vector<std::int64_t> MaxPool2D::output_shape(
   return {in[0], in[1], oh, ow};
 }
 
-void MaxPool2D::forward(const Tensor& in, Tensor& out, bool) {
+void MaxPool2D::forward(const Tensor& in, Tensor& out, bool, Workspace&) {
   const auto os = output_shape(in.shape());
-  out.resize(os);
+  out.ensure(os);
   const std::int64_t planes = in.dim(0) * in.dim(1);
   const std::int64_t h = in.dim(2), w = in.dim(3);
   const std::int64_t oh = os[2], ow = os[3];
@@ -49,8 +49,9 @@ void MaxPool2D::forward(const Tensor& in, Tensor& out, bool) {
 }
 
 void MaxPool2D::backward(const Tensor& in, const Tensor& out,
-                         const Tensor& grad_out, Tensor& grad_in) {
-  grad_in.resize(in.shape());
+                         const Tensor& grad_out, Tensor& grad_in,
+                         Workspace&) {
+  grad_in.ensure(in.shape());
   grad_in.zero();
   const std::int64_t planes = in.dim(0) * in.dim(1);
   const std::int64_t h = in.dim(2), w = in.dim(3);

@@ -12,9 +12,12 @@ class MaxPool2D final : public Layer {
     DNNSPMV_CHECK(k_ > 0 && stride_ > 0);
   }
 
-  void forward(const Tensor& in, Tensor& out, bool training) override;
+  using Layer::forward;
+  using Layer::backward;
+  void forward(const Tensor& in, Tensor& out, bool training,
+               Workspace& ws) override;
   void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
-                Tensor& grad_in) override;
+                Tensor& grad_in, Workspace& ws) override;
   std::string name() const override { return "maxpool2d"; }
   std::vector<std::int64_t> output_shape(
       const std::vector<std::int64_t>& in) const override;

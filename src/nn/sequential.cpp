@@ -2,26 +2,28 @@
 
 namespace dnnspmv {
 
-void Sequential::forward(const Tensor& in, Tensor& out, bool training) {
+void Sequential::forward(const Tensor& in, Tensor& out, bool training,
+                         Workspace& ws) {
   DNNSPMV_CHECK_MSG(!layers_.empty(), "empty Sequential");
   acts_.resize(layers_.size());
   const Tensor* cur = &in;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i]->forward(*cur, acts_[i], training);
+    layers_[i]->forward(*cur, acts_[i], training, ws);
     cur = &acts_[i];
   }
   out = acts_.back();
 }
 
 void Sequential::backward(const Tensor& in, const Tensor&,
-                          const Tensor& grad_out, Tensor& grad_in) {
+                          const Tensor& grad_out, Tensor& grad_in,
+                          Workspace& ws) {
   DNNSPMV_CHECK_MSG(acts_.size() == layers_.size(),
                     "backward without matching forward");
   Tensor grad = grad_out;
   Tensor next;
   for (std::size_t i = layers_.size(); i-- > 0;) {
     const Tensor& input = (i == 0) ? in : acts_[i - 1];
-    layers_[i]->backward(input, acts_[i], grad, next);
+    layers_[i]->backward(input, acts_[i], grad, next, ws);
     grad = std::move(next);
     next = Tensor();
   }

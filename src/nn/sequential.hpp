@@ -1,5 +1,8 @@
 // Sequential container: a linear stack of layers with cached activations so
-// backward can replay the forward pass.
+// backward can replay the forward pass. One Workspace (the layer's own
+// fallback, or whatever the caller threads in) is shared by every layer in
+// the stack, so a whole forward/backward pass reuses one set of scratch
+// buffers.
 #pragma once
 
 #include <memory>
@@ -26,9 +29,12 @@ class Sequential final : public Layer {
   std::size_t num_layers() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
 
-  void forward(const Tensor& in, Tensor& out, bool training) override;
+  using Layer::forward;
+  using Layer::backward;
+  void forward(const Tensor& in, Tensor& out, bool training,
+               Workspace& ws) override;
   void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
-                Tensor& grad_in) override;
+                Tensor& grad_in, Workspace& ws) override;
   std::vector<Param*> params() override;
   std::string name() const override { return "sequential"; }
   std::vector<std::int64_t> output_shape(

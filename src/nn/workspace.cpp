@@ -1,0 +1,21 @@
+#include "nn/workspace.hpp"
+
+#include "common/error.hpp"
+
+namespace dnnspmv {
+
+float* Workspace::get(const void* owner, int slot, std::int64_t size) {
+  DNNSPMV_CHECK(size >= 0);
+  std::vector<float>& buf = bufs_[Key{owner, slot}];
+  if (buf.size() < static_cast<std::size_t>(size))
+    buf.resize(static_cast<std::size_t>(size));
+  return buf.data();
+}
+
+std::size_t Workspace::floats_held() const {
+  std::size_t total = 0;
+  for (const auto& [key, buf] : bufs_) total += buf.size();
+  return total;
+}
+
+}  // namespace dnnspmv

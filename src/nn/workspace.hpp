@@ -1,0 +1,45 @@
+// Persistent scratch memory for layer forward/backward passes.
+//
+// Layers request buffers keyed by (owner pointer, slot); a buffer grows to
+// the largest size ever requested under its key and is reused across calls,
+// so steady-state inference — the serve tier's cache-miss path — performs
+// zero heap allocation once shapes have been seen. A Workspace is NOT
+// thread-safe: use one per thread (the serve batcher keeps one per worker,
+// the trainer one per training loop, and every Layer owns a lazily created
+// fallback for callers that don't thread one through).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dnnspmv {
+
+class Workspace {
+ public:
+  /// Scratch buffer of at least `size` floats for (owner, slot). Contents
+  /// are unspecified — callers must fully overwrite what they read back.
+  float* get(const void* owner, int slot, std::int64_t size);
+
+  /// Total floats currently held across all buffers.
+  std::size_t floats_held() const;
+
+  void clear() { bufs_.clear(); }
+
+ private:
+  struct Key {
+    const void* owner;
+    int slot;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<const void*>()(k.owner) ^
+             (std::hash<int>()(k.slot) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  std::unordered_map<Key, std::vector<float>, KeyHash> bufs_;
+};
+
+}  // namespace dnnspmv

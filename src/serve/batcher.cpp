@@ -15,14 +15,14 @@ Batcher::Batcher(const FormatSelector& selector, RequestQueue& queue,
   DNNSPMV_CHECK(max_batch > 0);
 }
 
-void Batcher::serve_batch(std::vector<PredictRequest>& batch) {
+void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
   if (batch.empty()) return;
   try {
     std::vector<std::vector<Tensor>> prepared;
     prepared.reserve(batch.size());
     for (PredictRequest& r : batch) prepared.push_back(std::move(r.inputs));
     const std::vector<std::int32_t> picks =
-        selector_.predict_prepared(prepared);
+        selector_.predict_prepared(prepared, &ws);
     DNNSPMV_CHECK(picks.size() == batch.size());
     // Cache and metrics first, promises last: once a client unblocks, its
     // prediction is already cached and the batch counters already reflect
@@ -47,11 +47,12 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch) {
 }
 
 void Batcher::run() {
+  Workspace ws;  // per-worker scratch, reused across every served batch
   std::vector<PredictRequest> batch;
   while (true) {
     batch.clear();
     if (queue_.pop_batch(batch, max_batch_) == 0) return;
-    serve_batch(batch);
+    serve_batch(batch, ws);
   }
 }
 

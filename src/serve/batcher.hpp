@@ -29,11 +29,14 @@ class Batcher {
 
   /// Worker loop; returns when the queue is closed and fully drained.
   /// Never throws: inference failures are forwarded to the waiting
-  /// clients through their promises.
+  /// clients through their promises. Each run() owns one Workspace that
+  /// every batch it serves reuses, so a worker thread's miss-path
+  /// inference stops allocating once shapes have been seen.
   void run();
 
-  /// Answers one popped batch (exposed for deterministic tests).
-  void serve_batch(std::vector<PredictRequest>& batch);
+  /// Answers one popped batch with the given per-worker scratch workspace
+  /// (exposed for deterministic tests).
+  void serve_batch(std::vector<PredictRequest>& batch, Workspace& ws);
 
  private:
   const FormatSelector& selector_;

@@ -1,77 +1,444 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
+
+#include "tensor/pack.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#if defined(DNNSPMV_SIMD) && defined(__AVX2__) && defined(__FMA__)
+#define DNNSPMV_GEMM_AVX2 1
+#include <immintrin.h>
+#endif
 
 namespace dnnspmv {
 namespace {
 
-constexpr std::int64_t kBlockK = 256;
-constexpr std::int64_t kBlockN = 512;
+// Cache blocking: an A block (kMC×kKC ≈ 128 KB) targets L2, a B block
+// (kKC×kNC ≈ 2 MB) targets L3, and one B panel (kKC×kNR = 8 KB) stays in
+// L1 across the whole ic loop.
+constexpr std::int64_t kMC = 64;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 2048;
 
-// Scales a row-panel of C by beta before accumulation.
-void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
-  if (beta == 1.0f) return;
-  if (beta == 0.0f) {
-    std::fill(c, c + m * n, 0.0f);
-    return;
-  }
-  for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
 }
 
-}  // namespace
+// Per-calling-thread packing buffers. Sized on first use and reused, so
+// steady-state GEMM performs no heap allocation; OpenMP workers read them
+// through pointers captured by the parallel regions.
+struct PackBuffers {
+  std::vector<float> a, b;
+};
 
-void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-           const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
+PackBuffers& tls_buffers() {
+  static thread_local PackBuffers bufs;
+  return bufs;
+}
+
+// Computes one C tile: C[mr×nr] (+)= alpha * Ap * Bp. The A operand is
+// always a packed panel (pack.hpp); the B panel rows are `ldb` floats
+// apart — kNR for a packed (zero-padded) panel, or B's own row stride when
+// the driver feeds a full-width tile of row-major B in place. Callers must
+// guarantee 8 readable floats per B row (tail tiles always come packed).
+// `first` selects the beta epilogue (only the first depth block
+// scales/reads the prior C); `last` folds the optional biases.
+// Accumulation order over kc is fixed and position-independent, so a given
+// output column sees bit-identical arithmetic wherever it lands in the
+// tiling — the property the batched-conv == per-sample guarantee rests on.
+#ifdef DNNSPMV_GEMM_AVX2
+
+// Lane mask for the `nr`-wide tail of one 8-float vector. nr <= 0 masks
+// every lane off, nr >= 8 masks every lane on, so the two halves of a
+// 16-column tile can share it via tail_mask(nr) / tail_mask(nr - 8).
+inline __m256i tail_mask(std::int64_t nr) {
+  const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  return _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(nr)), idx);
+}
+
+// Fully-unrolled accumulation over exactly MR rows × 16 columns — edge
+// tiles (mr < kMR) skip the padded rows' FLOPs entirely, which matters for
+// skinny operands like conv1's [12, N·opix, 9] where the kernel body is
+// the whole cost. MR=6 uses 12 accumulator registers + 2 B vectors + 1
+// broadcast: 15 of the 16 ymm registers, no spills.
+template <int MR>
+inline void accumulate(std::int64_t kc, const float* ap, const float* bp,
+                       std::int64_t ldb, __m256* acc0, __m256* acc1) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * ldb);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * ldb + 8);
+    const float* arow = ap + p * kMR;
+    for (int i = 0; i < MR; ++i) {
+      const __m256 av = _mm256_broadcast_ss(arow + i);
+      acc0[i] = _mm256_fmadd_ps(av, b0, acc0[i]);
+      acc1[i] = _mm256_fmadd_ps(av, b1, acc1[i]);
+    }
+  }
+}
+
+// C = A·B for one full-width tile when no epilogue work exists (alpha 1,
+// beta 0, single depth block, no bias): accumulators never leave registers
+// and results store straight out. Bit-identical to the general path below
+// (1.0f*x and +0.0f are exact), it just skips the stack round-trip the
+// dynamically-indexed epilogue forces.
+template <int MR>
+inline void kernel_fused(std::int64_t kc, const float* ap, const float* bp,
+                         std::int64_t ldb, float* c, std::int64_t ldc) {
+  __m256 acc0[MR], acc1[MR];
+  for (int i = 0; i < MR; ++i) {
+    acc0[i] = _mm256_setzero_ps();
+    acc1[i] = _mm256_setzero_ps();
+  }
+  accumulate<MR>(kc, ap, bp, ldb, acc0, acc1);
+  for (int i = 0; i < MR; ++i) {
+    _mm256_storeu_ps(c + i * ldc, acc0[i]);
+    _mm256_storeu_ps(c + i * ldc + 8, acc1[i]);
+  }
+}
+
+// Small dispatcher the driver calls directly on the no-epilogue fast path;
+// being a lean leaf it inlines into the tile loop, skipping the full
+// micro_kernel's argument setup and branch tree per tile.
+inline void kernel_fused_dispatch(std::int64_t kc, const float* ap,
+                                  const float* bp, std::int64_t ldb, float* c,
+                                  std::int64_t ldc, std::int64_t mr) {
+  switch (mr) {
+    case 1: kernel_fused<1>(kc, ap, bp, ldb, c, ldc); return;
+    case 2: kernel_fused<2>(kc, ap, bp, ldb, c, ldc); return;
+    case 3: kernel_fused<3>(kc, ap, bp, ldb, c, ldc); return;
+    case 4: kernel_fused<4>(kc, ap, bp, ldb, c, ldc); return;
+    case 5: kernel_fused<5>(kc, ap, bp, ldb, c, ldc); return;
+    default: kernel_fused<6>(kc, ap, bp, ldb, c, ldc); return;
+  }
+}
+
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                  std::int64_t ldb, float* c, std::int64_t ldc,
+                  std::int64_t mr, std::int64_t nr, float alpha, float beta,
+                  bool first, bool last, const float* row_bias,
+                  const float* col_bias) {
+  if (alpha == 1.0f && beta == 0.0f && first && last && !row_bias &&
+      !col_bias && nr == kNR) {
+    kernel_fused_dispatch(kc, ap, bp, ldb, c, ldc, mr);
+    return;
+  }
+  __m256 acc0[kMR], acc1[kMR];
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    acc0[i] = _mm256_setzero_ps();
+    acc1[i] = _mm256_setzero_ps();
+  }
+  switch (mr) {
+    case 1: accumulate<1>(kc, ap, bp, ldb, acc0, acc1); break;
+    case 2: accumulate<2>(kc, ap, bp, ldb, acc0, acc1); break;
+    case 3: accumulate<3>(kc, ap, bp, ldb, acc0, acc1); break;
+    case 4: accumulate<4>(kc, ap, bp, ldb, acc0, acc1); break;
+    case 5: accumulate<5>(kc, ap, bp, ldb, acc0, acc1); break;
+    default: accumulate<6>(kc, ap, bp, ldb, acc0, acc1); break;
+  }
+  const __m256 av = _mm256_set1_ps(alpha);
+  const __m256 betav = _mm256_set1_ps(beta);
+  // Per-half lane masks; a half whose mask is all-on uses plain loads and
+  // stores. The accumulated lanes are identical either way, so a column
+  // sees the same bits whether it sits in a full or a tail tile.
+  const std::int64_t n0 = std::min<std::int64_t>(nr, 8);
+  const std::int64_t n1 = nr - n0;
+  const __m256i m0 = tail_mask(n0);
+  const __m256i m1 = tail_mask(n1);
+  __m256 cb0 = _mm256_setzero_ps(), cb1 = _mm256_setzero_ps();
+  if (last && col_bias) {
+    cb0 = n0 == 8 ? _mm256_loadu_ps(col_bias)
+                  : _mm256_maskload_ps(col_bias, m0);
+    cb1 = n1 == 8 ? _mm256_loadu_ps(col_bias + 8)
+                  : _mm256_maskload_ps(col_bias + 8, m1);
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    __m256 cv0 = _mm256_mul_ps(av, acc0[i]);
+    __m256 cv1 = _mm256_mul_ps(av, acc1[i]);
+    if (first) {
+      if (beta != 0.0f) {
+        cv0 = _mm256_fmadd_ps(
+            betav,
+            n0 == 8 ? _mm256_loadu_ps(crow) : _mm256_maskload_ps(crow, m0),
+            cv0);
+        cv1 = _mm256_fmadd_ps(betav,
+                              n1 == 8 ? _mm256_loadu_ps(crow + 8)
+                                      : _mm256_maskload_ps(crow + 8, m1),
+                              cv1);
+      }
+    } else {
+      cv0 = _mm256_add_ps(
+          cv0,
+          n0 == 8 ? _mm256_loadu_ps(crow) : _mm256_maskload_ps(crow, m0));
+      cv1 = _mm256_add_ps(cv1, n1 == 8 ? _mm256_loadu_ps(crow + 8)
+                                       : _mm256_maskload_ps(crow + 8, m1));
+    }
+    if (last) {
+      if (row_bias) {
+        const __m256 rb = _mm256_set1_ps(row_bias[i]);
+        cv0 = _mm256_add_ps(cv0, rb);
+        cv1 = _mm256_add_ps(cv1, rb);
+      }
+      if (col_bias) {
+        cv0 = _mm256_add_ps(cv0, cb0);
+        cv1 = _mm256_add_ps(cv1, cb1);
+      }
+    }
+    if (n0 == 8)
+      _mm256_storeu_ps(crow, cv0);
+    else
+      _mm256_maskstore_ps(crow, m0, cv0);
+    if (n1 == 8)
+      _mm256_storeu_ps(crow + 8, cv1);
+    else if (n1 > 0)
+      _mm256_maskstore_ps(crow + 8, m1, cv1);
+  }
+}
+
+#else  // portable micro-kernel
+
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                  std::int64_t ldb, float* c, std::int64_t ldc,
+                  std::int64_t mr, std::int64_t nr, float alpha, float beta,
+                  bool first, bool last, const float* row_bias,
+                  const float* col_bias) {
+  // Full-tile accumulation over the zero-padded panels; one code path for
+  // interior and edge tiles keeps per-column arithmetic identical.
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kMR;
+    const float* brow = bp + p * ldb;
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const float avv = arow[i];
+      for (std::int64_t j = 0; j < kNR; ++j) acc[i][j] += avv * brow[j];
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) {
+      float v = alpha * acc[i][j];
+      if (first) {
+        if (beta != 0.0f) v += beta * crow[j];
+      } else {
+        v += crow[j];
+      }
+      if (last) {
+        if (row_bias) v += row_bias[i];
+        if (col_bias) v += col_bias[j];
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+// Portable twin of the AVX2 fast-path dispatcher: same call site in the
+// driver, same arithmetic — the scalar kernel has no epilogue spill to
+// skip, so it just forwards.
+inline void kernel_fused_dispatch(std::int64_t kc, const float* ap,
+                                  const float* bp, std::int64_t ldb, float* c,
+                                  std::int64_t ldc, std::int64_t mr) {
+  micro_kernel(kc, ap, bp, ldb, c, ldc, mr, kNR, 1.0f, 0.0f, true, true,
+               nullptr, nullptr);
+}
+
+#endif  // DNNSPMV_GEMM_AVX2
+
+// One thread's contiguous share of the (jp, ip) tile sweep for a single
+// (jc, pc, ic) block. Passed by value: every field becomes a plain local,
+// so the loop compiles without the per-iteration shared-variable reloads
+// GCC emits for variables captured by reference in OpenMP closures.
+struct TileRange {
+  // mend = ic + mc bounds tile rows to the current MC block — the final A
+  // panel of a block is zero-padded, and running it past the block would
+  // overwrite the next block's C rows with epilogue-scaled garbage.
+  std::int64_t jp0, jp1, jc, ic, pc, mend, n, kc, mb;
+  float alpha, beta;
+  bool first, last, fused, direct_b;
+  std::int64_t rs_b;
+  const float* b;
+  float* c;
+  const float* abuf;
+  const float* bbuf;
+  const float* row_bias;
+  const float* col_bias;
+};
+
+void tile_range(const TileRange t) {
+  for (std::int64_t jp = t.jp0; jp < t.jp1; ++jp) {
+    const std::int64_t j0 = t.jc + jp * kNR;
+    const std::int64_t nr = std::min(t.n - j0, kNR);
+    const float* bp = t.bbuf + jp * t.kc * kNR;
+    std::int64_t ldb = kNR;
+    if (t.direct_b && nr == kNR) {
+      bp = t.b + t.pc * t.rs_b + j0;
+      ldb = t.rs_b;
+    } else if (t.direct_b) {
+      bp = t.bbuf;  // the one packed tail panel
+    }
+    if (t.fused && nr == kNR) {
+      for (std::int64_t ip = 0; ip < t.mb; ++ip) {
+        const std::int64_t i0 = t.ic + ip * kMR;
+        kernel_fused_dispatch(t.kc, t.abuf + ip * t.kc * kMR, bp, ldb,
+                              t.c + i0 * t.n + j0, t.n,
+                              std::min(t.mend - i0, kMR));
+      }
+    } else {
+      for (std::int64_t ip = 0; ip < t.mb; ++ip) {
+        const std::int64_t i0 = t.ic + ip * kMR;
+        const std::int64_t mr = std::min(t.mend - i0, kMR);
+        micro_kernel(t.kc, t.abuf + ip * t.kc * kMR, bp, ldb,
+                     t.c + i0 * t.n + j0, t.n, mr, nr, t.alpha, t.beta,
+                     t.first, t.last,
+                     t.row_bias ? t.row_bias + i0 : nullptr,
+                     t.col_bias ? t.col_bias + j0 : nullptr);
+      }
+    }
+  }
+}
+
+// Degenerate case (k == 0 or alpha == 0): C = beta*C + biases. Runs the
+// whole O(m·n) pass under OpenMP — this replaces the seed's serial
+// scale_c.
+void epilogue_only(std::int64_t m, std::int64_t n, float beta, float* c,
+                   const float* row_bias, const float* col_bias) {
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = 0; i < m; ++i) {
     float* crow = c + i * n;
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::int64_t k1 = std::min(k, k0 + kBlockK);
-      for (std::int64_t n0 = 0; n0 < n; n0 += kBlockN) {
-        const std::int64_t n1 = std::min(n, n0 + kBlockN);
-        for (std::int64_t p = k0; p < k1; ++p) {
-          const float av = alpha * a[i * k + p];
-          if (av == 0.0f) continue;
-          const float* brow = b + p * n;
-          for (std::int64_t j = n0; j < n1; ++j) crow[j] += av * brow[j];
+    const float rb = row_bias ? row_bias[i] : 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      float v = (beta == 0.0f) ? 0.0f : beta * crow[j];
+      v += rb;
+      if (col_bias) v += col_bias[j];
+      crow[j] = v;
+    }
+  }
+}
+
+// Shared driver for every public variant. The logical operands are
+// A[m,k] with element (i,p) at a[i*rs_a + p*cs_a] and B[k,n] with element
+// (p,j) at b[p*rs_b + j*cs_b]; transposed variants just swap strides.
+void gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const float* a, std::int64_t rs_a, std::int64_t cs_a,
+                 const float* b, std::int64_t rs_b, std::int64_t cs_b,
+                 float beta, float* c, const float* row_bias,
+                 const float* col_bias) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0 || alpha == 0.0f) {
+    epilogue_only(m, n, beta, c, row_bias, col_bias);
+    return;
+  }
+
+  // When B is row-major and all of A fits one MC block, each B panel is
+  // consumed exactly once per depth block — packing it would only add a
+  // copy pass. Feed full-width tiles straight from B instead (the kernel
+  // takes the row stride); only the ragged last panel still gets packed,
+  // so the kernel never reads past a row end. This is the case for every
+  // forward conv/dense GEMM (m = channels/batch, n = batch·pixels).
+  const bool direct_b = cs_b == 1 && m <= kMC;
+
+  PackBuffers& buf = tls_buffers();
+  const std::int64_t kc_max = std::min(k, kKC);
+  buf.a.resize(static_cast<std::size_t>(
+      ceil_div(std::min(m, kMC), kMR) * kMR * kc_max));
+  buf.b.resize(static_cast<std::size_t>(
+      (direct_b ? 1 : ceil_div(std::min(n, kNC), kNR)) * kNR * kc_max));
+  float* abuf = buf.a.data();
+  float* bbuf = buf.b.data();
+
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(n - jc, kNC);
+    const std::int64_t nb = ceil_div(nc, kNR);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(k - pc, kKC);
+      const bool first = pc == 0;
+      const bool last = pc + kc == k;
+      // No epilogue work at all for this depth block → full-width tiles can
+      // take the store-straight-out kernel without re-testing per tile.
+      const bool fused = alpha == 1.0f && beta == 0.0f && first && last &&
+                         !row_bias && !col_bias;
+      if (direct_b) {
+        if (nc % kNR != 0) {
+          const std::int64_t j0 = (nb - 1) * kNR;
+          pack_b_panel(kc, nc - j0, b + pc * rs_b + (jc + j0), rs_b, 1, bbuf);
+        }
+      } else {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t jp = 0; jp < nb; ++jp) {
+          const std::int64_t j0 = jp * kNR;
+          pack_b_panel(kc, std::min(nc - j0, kNR),
+                       b + pc * rs_b + (jc + j0) * cs_b, rs_b, cs_b,
+                       bbuf + jp * kc * kNR);
+        }
+      }
+      for (std::int64_t ic = 0; ic < m; ic += kMC) {
+        const std::int64_t mc = std::min(m - ic, kMC);
+        const std::int64_t mb = ceil_div(mc, kMR);
+        for (std::int64_t ip = 0; ip < mb; ++ip) {
+          const std::int64_t i0 = ip * kMR;
+          pack_a_panel(std::min(mc - i0, kMR), kc,
+                       a + (ic + i0) * rs_a + pc * cs_a, rs_a, cs_a,
+                       abuf + ip * kc * kMR);
+        }
+        // Each (jp, ip) tile is owned by one thread, and the contiguous
+        // static split below matches schedule(static): deterministic
+        // results at any thread count. tile_range (plain value arguments,
+        // no OpenMP closure) keeps the per-tile loop free of the shared-
+        // variable indirection GCC emits inside outlined regions.
+#pragma omp parallel
+        {
+#ifdef _OPENMP
+          const std::int64_t nth = omp_get_num_threads();
+          const std::int64_t tid = omp_get_thread_num();
+#else
+          const std::int64_t nth = 1, tid = 0;
+#endif
+          const std::int64_t chunk = ceil_div(nb, nth);
+          const std::int64_t jp0 = tid * chunk;
+          const std::int64_t jp1 = std::min(nb, jp0 + chunk);
+          if (jp0 < jp1)
+            tile_range({jp0, jp1, jc, ic, pc, ic + mc, n, kc, mb, alpha,
+                        beta, first, last, fused, direct_b, rs_b, b, c, abuf,
+                        bbuf, row_bias, col_bias});
         }
       }
     }
   }
 }
 
+}  // namespace
+
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  gemm_driver(m, n, k, alpha, a, k, 1, b, n, 1, beta, c, nullptr, nullptr);
+}
+
 void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  // A is k×m: column i of the logical A^T is a strided walk; parallelize
-  // over output rows and stream B rows.
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = alpha * a[p * m + i];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // A stored k×m: logical A[i,p] = a[p*m + i].
+  gemm_driver(m, n, k, alpha, a, 1, m, b, n, 1, beta, c, nullptr, nullptr);
 }
 
 void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c) {
-  // Dot-product form: both A rows and B rows are contiguous.
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      c[i * n + j] = alpha * acc + beta * c[i * n + j];
-    }
-  }
+  // B stored n×k: logical B[p,j] = b[j*k + p].
+  gemm_driver(m, n, k, alpha, a, k, 1, b, 1, k, beta, c, nullptr, nullptr);
+}
+
+void sgemm_row_bias(std::int64_t m, std::int64_t n, std::int64_t k,
+                    float alpha, const float* a, const float* b, float beta,
+                    float* c, const float* row_bias) {
+  gemm_driver(m, n, k, alpha, a, k, 1, b, n, 1, beta, c, row_bias, nullptr);
+}
+
+void sgemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
+                       float alpha, const float* a, const float* b,
+                       float beta, float* c, const float* col_bias) {
+  gemm_driver(m, n, k, alpha, a, k, 1, b, 1, k, beta, c, nullptr, col_bias);
 }
 
 }  // namespace dnnspmv

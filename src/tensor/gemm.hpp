@@ -1,8 +1,16 @@
 // Single-precision GEMM kernels used by conv (im2col) and dense layers.
 //
-// C = alpha * op(A) * op(B) + beta * C with row-major storage. The kernel is
-// register-blocked and OpenMP-parallel over row panels — not MKL-fast, but
-// within the envelope needed to train the paper's CNNs on a CPU.
+// C = alpha * op(A) * op(B) + beta * C with row-major storage. All variants
+// share one packed, register-blocked driver (BLIS-style): operands are
+// packed into cache-resident kMR/kNR panels (pack.hpp) and multiplied by an
+// 8×8 micro-kernel — portable C++ by default, AVX2/FMA when the library is
+// built with DNNSPMV_SIMD (see DESIGN.md). Results are deterministic and
+// independent of thread count: every output tile is accumulated by exactly
+// one thread in a fixed depth order.
+//
+// The *_bias variants fold a bias add into the GEMM epilogue (applied once,
+// after the final depth block), which is how Conv2D and Dense avoid a
+// second pass over their outputs.
 #pragma once
 
 #include <cstdint>
@@ -20,5 +28,17 @@ void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 /// C[m,n] = alpha*A[m,k]*B^T[n,k] + beta*C (B stored n×k row-major).
 void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c);
+
+/// sgemm, then C[i,:] += row_bias[i] folded into the epilogue (may be
+/// null). The conv forward path: rows are output channels.
+void sgemm_row_bias(std::int64_t m, std::int64_t n, std::int64_t k,
+                    float alpha, const float* a, const float* b, float beta,
+                    float* c, const float* row_bias);
+
+/// sgemm_bt, then C[:,j] += col_bias[j] folded into the epilogue (may be
+/// null). The dense forward path: columns are output features.
+void sgemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
+                       float alpha, const float* a, const float* b,
+                       float beta, float* c, const float* col_bias);
 
 }  // namespace dnnspmv

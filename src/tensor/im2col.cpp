@@ -3,16 +3,21 @@
 #include <algorithm>
 
 namespace dnnspmv {
+namespace {
 
-void im2col(const ConvGeom& g, const float* im, float* col) {
+// Lowers one sample into the column block starting at `col` inside a matrix
+// whose rows are `ldc` floats long (ldc == opix for the single-sample case,
+// batch*opix for the batched one). The write pattern per column is
+// identical either way — only the row stride changes.
+void im2col_one(const ConvGeom& g, const float* im, float* col,
+                std::int64_t ldc) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
-  const std::int64_t ocols = oh * ow;
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.channels; ++c) {
     const float* imc = im + c * g.height * g.width;
     for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out = col + row * ocols;
+        float* out = col + row * ldc;
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t iy = y * g.stride_h + kh - g.pad_h;
           if (iy < 0 || iy >= g.height) {
@@ -31,16 +36,17 @@ void im2col(const ConvGeom& g, const float* im, float* col) {
   }
 }
 
-void col2im(const ConvGeom& g, const float* col, float* im) {
+// Scatter-accumulates one sample's column block back into its image; the
+// image must be zeroed by the caller.
+void col2im_one(const ConvGeom& g, const float* col, float* im,
+                std::int64_t ldc) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
-  const std::int64_t ocols = oh * ow;
-  std::fill(im, im + g.channels * g.height * g.width, 0.0f);
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.channels; ++c) {
     float* imc = im + c * g.height * g.width;
     for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        const float* src = col + row * ocols;
+        const float* src = col + row * ldc;
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t iy = y * g.stride_h + kh - g.pad_h;
           if (iy < 0 || iy >= g.height) continue;
@@ -52,6 +58,40 @@ void col2im(const ConvGeom& g, const float* col, float* im) {
         }
       }
     }
+  }
+}
+
+}  // namespace
+
+void im2col(const ConvGeom& g, const float* im, float* col) {
+  im2col_one(g, im, col, g.out_h() * g.out_w());
+}
+
+void col2im(const ConvGeom& g, const float* col, float* im) {
+  std::fill(im, im + g.channels * g.height * g.width, 0.0f);
+  col2im_one(g, col, im, g.out_h() * g.out_w());
+}
+
+void im2col_batch(const ConvGeom& g, std::int64_t batch, const float* im,
+                  float* col) {
+  const std::int64_t opix = g.out_h() * g.out_w();
+  const std::int64_t imsz = g.channels * g.height * g.width;
+  const std::int64_t ldc = batch * opix;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t n = 0; n < batch; ++n)
+    im2col_one(g, im + n * imsz, col + n * opix, ldc);
+}
+
+void col2im_batch(const ConvGeom& g, std::int64_t batch, const float* col,
+                  float* im) {
+  const std::int64_t opix = g.out_h() * g.out_w();
+  const std::int64_t imsz = g.channels * g.height * g.width;
+  const std::int64_t ldc = batch * opix;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* dst = im + n * imsz;
+    std::fill(dst, dst + imsz, 0.0f);
+    col2im_one(g, col + n * opix, dst, ldc);
   }
 }
 

@@ -31,4 +31,18 @@ void im2col(const ConvGeom& g, const float* im, float* col);
 /// Inverse scatter-accumulate: col gradients back into im (im zeroed first).
 void col2im(const ConvGeom& g, const float* col, float* im);
 
+/// Batched lowering: all `batch` samples of an NCHW batch land in one
+/// patch_size × (batch*out_h*out_w) matrix, sample n occupying columns
+/// [n*opix, (n+1)*opix). Conv forward then runs ONE GEMM whose width — and
+/// thus its parallelism — scales with the batch. Samples are lowered in
+/// parallel; each column's values match the per-sample im2col exactly.
+void im2col_batch(const ConvGeom& g, std::int64_t batch, const float* im,
+                  float* col);
+
+/// Batched inverse of im2col_batch: scatters column gradients of the
+/// [patch_size, batch*opix] matrix back into the NCHW image batch (which is
+/// zeroed first). Samples scatter in parallel into disjoint images.
+void col2im_batch(const ConvGeom& g, std::int64_t batch, const float* col,
+                  float* im);
+
 }  // namespace dnnspmv

@@ -1,0 +1,39 @@
+#include "tensor/pack.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dnnspmv {
+
+void pack_a_panel(std::int64_t rows, std::int64_t kc, const float* a,
+                  std::int64_t rs, std::int64_t cs, float* dst) {
+  if (rows == kMR && cs == 1) {
+    // Contiguous depth walk per row (the sgemm_at layout, rs == 1, lands in
+    // the generic branch below, where the i-walk is the contiguous one).
+    for (std::int64_t p = 0; p < kc; ++p)
+      for (std::int64_t i = 0; i < kMR; ++i)
+        dst[p * kMR + i] = a[i * rs + p];
+    return;
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    float* out = dst + p * kMR;
+    for (std::int64_t i = 0; i < rows; ++i) out[i] = a[i * rs + p * cs];
+    for (std::int64_t i = rows; i < kMR; ++i) out[i] = 0.0f;
+  }
+}
+
+void pack_b_panel(std::int64_t kc, std::int64_t cols, const float* b,
+                  std::int64_t rs, std::int64_t cs, float* dst) {
+  if (cols == kNR && cs == 1) {
+    for (std::int64_t p = 0; p < kc; ++p)
+      std::memcpy(dst + p * kNR, b + p * rs, kNR * sizeof(float));
+    return;
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    float* out = dst + p * kNR;
+    for (std::int64_t j = 0; j < cols; ++j) out[j] = b[p * rs + j * cs];
+    for (std::int64_t j = cols; j < kNR; ++j) out[j] = 0.0f;
+  }
+}
+
+}  // namespace dnnspmv

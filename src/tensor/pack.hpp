@@ -1,0 +1,44 @@
+// Panel packing for the blocked GEMM (gemm.cpp).
+//
+// The micro-kernel consumes A and B through cache-resident packed panels:
+//
+//   * an A panel holds kMR rows × kc depth, stored depth-major
+//     (dst[p*kMR + i]), so the kernel broadcasts kMR contiguous floats per
+//     depth step;
+//   * a B panel holds kc depth × kNR columns, stored depth-major
+//     (dst[p*kNR + j]), so the kernel loads one contiguous kNR-vector per
+//     depth step.
+//
+// Panels are zero-padded to the full kMR/kNR width at the m/n edges, which
+// lets the kernel always run the full register tile; the edge garbage never
+// reaches C because stores are bounded by the real tile size. Both packers
+// take explicit row/column strides, so the same routines lower the plain,
+// A-transposed, and B-transposed GEMM variants.
+#pragma once
+
+#include <cstdint>
+
+namespace dnnspmv {
+
+/// Register-tile dimensions of the micro-kernel: 6 rows × 16 columns (two
+/// AVX2 float vectors wide). 6×2 accumulators + 2 B vectors + 1 broadcast
+/// fill 15 of the 16 ymm registers, and a 16-column C row is a whole cache
+/// line, which keeps the store streams from thrashing one L1 set when C's
+/// row stride is a large power of two. The portable kernel uses the same
+/// shape so packed layouts (and results) are identical across builds.
+inline constexpr std::int64_t kMR = 6;
+inline constexpr std::int64_t kNR = 16;
+
+/// Packs one A panel: rows [i0, i0+rows) over depths [p0, p0+kc) of the
+/// logical m×k matrix A with element (i, p) at a[i*rs + p*cs]. Writes
+/// kc*kMR floats to dst, zero-padding rows beyond `rows`.
+void pack_a_panel(std::int64_t rows, std::int64_t kc, const float* a,
+                  std::int64_t rs, std::int64_t cs, float* dst);
+
+/// Packs one B panel: depths [0, kc) over `cols` columns of the logical
+/// k×n matrix B with element (p, j) at b[p*rs + j*cs]. Writes kc*kNR
+/// floats to dst, zero-padding columns beyond `cols`.
+void pack_b_panel(std::int64_t kc, std::int64_t cols, const float* b,
+                  std::int64_t rs, std::int64_t cs, float* dst);
+
+}  // namespace dnnspmv

@@ -15,6 +15,11 @@ void Tensor::resize(std::vector<std::int64_t> shape) {
   data_.assign(static_cast<std::size_t>(n), 0.0f);
 }
 
+void Tensor::ensure(std::vector<std::int64_t> shape) {
+  if (shape_ == shape) return;
+  resize(std::move(shape));
+}
+
 void Tensor::reshape(std::vector<std::int64_t> shape) {
   std::int64_t n = 1;
   for (auto d : shape) n *= d;

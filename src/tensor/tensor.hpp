@@ -27,6 +27,12 @@ class Tensor {
 
   void resize(std::vector<std::int64_t> shape);
 
+  /// Like resize, but when the tensor already has exactly `shape` the data
+  /// is left untouched (no zero-fill pass). For producers that overwrite
+  /// every element — keeps steady-state forward passes allocation- and
+  /// memset-free.
+  void ensure(std::vector<std::int64_t> shape);
+
   const std::vector<std::int64_t>& shape() const { return shape_; }
   std::int64_t dim(std::size_t i) const { return shape_.at(i); }
   std::size_t rank() const { return shape_.size(); }
