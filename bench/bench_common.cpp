@@ -239,3 +239,113 @@ std::vector<std::array<std::int64_t, 3>> merge_net_gemm_shapes() {
 }
 
 }  // namespace dnnspmv::bench
+
+namespace dnnspmv::bench {
+namespace {
+
+void json_escape(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonWriter::prefix(std::string_view name) {
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+    has_items_.back() = true;
+  }
+  if (!name.empty()) {
+    json_escape(out_, name);
+    out_ += ": ";
+  }
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view name) {
+  prefix(name);
+  out_ += '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = !has_items_.empty() && has_items_.back();
+  has_items_.pop_back();
+  if (had) {
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+  out_ += '}';
+  if (has_items_.empty()) out_ += '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view name) {
+  prefix(name);
+  out_ += '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = !has_items_.empty() && has_items_.back();
+  has_items_.pop_back();
+  if (had) {
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, std::string_view v) {
+  prefix(name);
+  json_escape(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, double v) {
+  prefix(name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, std::int64_t v) {
+  prefix(name);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, std::uint64_t v) {
+  prefix(name);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, bool v) {
+  prefix(name);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(out_.data(), 1, out_.size(), f);
+  return std::fclose(f) == 0 && n == out_.size();
+}
+
+}  // namespace dnnspmv::bench

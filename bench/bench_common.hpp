@@ -96,4 +96,37 @@ std::vector<GemmShapeResult> bench_gemm_shapes(
 /// representation (batch 32), plus the ISSUE-2 reference shape 32×16384×75.
 std::vector<std::array<std::int64_t, 3>> merge_net_gemm_shapes();
 
+/// Minimal streaming writer for the BENCH_*.json artifacts: handles
+/// nesting, commas, and indentation so benches stop hand-rolling fprintf
+/// JSON. Values are emitted as they arrive; str() is the document so far.
+class JsonWriter {
+ public:
+  /// `name` keys the child in an enclosing object; pass nothing for the
+  /// root or for elements of an array.
+  JsonWriter& begin_object(std::string_view name = {});
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view name = {});
+  JsonWriter& end_array();
+
+  JsonWriter& field(std::string_view name, std::string_view v);
+  JsonWriter& field(std::string_view name, const char* v) {
+    return field(name, std::string_view(v));
+  }
+  JsonWriter& field(std::string_view name, double v);
+  JsonWriter& field(std::string_view name, std::int64_t v);
+  JsonWriter& field(std::string_view name, std::uint64_t v);
+  JsonWriter& field(std::string_view name, int v) {
+    return field(name, static_cast<std::int64_t>(v));
+  }
+  JsonWriter& field(std::string_view name, bool v);
+
+  const std::string& str() const { return out_; }
+  bool write_file(const std::string& path) const;
+
+ private:
+  void prefix(std::string_view name);
+  std::string out_;
+  std::vector<bool> has_items_;  // one per open scope: comma needed?
+};
+
 }  // namespace dnnspmv::bench

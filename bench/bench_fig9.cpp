@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
   // Source model trained on the full Intel-labelled corpus.
   SelectorOptions opts;
   opts.mode = RepMode::kHistogram;
-  opts.size1 = cfg.size;
-  opts.size2 = cfg.bins;
+  opts.rep_rows = cfg.size;
+  opts.rep_bins = cfg.bins;
   opts.train.epochs = cfg.epochs;
   opts.train.batch = 32;
   opts.train.lr = 2e-3;

@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
   const LabeledCorpus lc = make_labeled_corpus(cfg, *platform);
   SelectorOptions opts;
   opts.mode = RepMode::kHistogram;
-  opts.size1 = cfg.size;
-  opts.size2 = cfg.bins;
+  opts.rep_rows = cfg.size;
+  opts.rep_bins = cfg.bins;
   opts.train.epochs = std::max(2, cfg.epochs / 3);
   FormatSelector sel(opts);
   sel.fit(lc.labeled, platform->formats());
@@ -123,30 +123,29 @@ int main(int argc, char** argv) {
     std::printf("    %lldx%lldx%lld  %7.2f GFLOP/s  (%.2fx over seed)\n",
                 static_cast<long long>(r.m), static_cast<long long>(r.n),
                 static_cast<long long>(r.k), r.packed_gflops, r.speedup);
-  if (FILE* jf = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(jf, "{\n  \"bench\": \"infer\",\n  \"gemm_shapes\": [\n");
-    for (std::size_t i = 0; i < gemm.size(); ++i) {
-      const GemmShapeResult& r = gemm[i];
-      std::fprintf(jf,
-                   "    {\"m\": %lld, \"n\": %lld, \"k\": %lld, "
-                   "\"seed_gflops\": %.3f, \"packed_gflops\": %.3f, "
-                   "\"speedup\": %.3f}%s\n",
-                   static_cast<long long>(r.m), static_cast<long long>(r.n),
-                   static_cast<long long>(r.k), r.seed_gflops,
-                   r.packed_gflops, r.speedup,
-                   i + 1 < gemm.size() ? "," : "");
-    }
-    std::fprintf(jf,
-                 "  ],\n  \"matrices_measured\": %lld,\n"
-                 "  \"per_matrix_inference_latency_s\": %.6e,\n"
-                 "  \"per_matrix_representation_latency_s\": %.6e,\n"
-                 "  \"inference_spmv_iters\": %.4f,\n"
-                 "  \"representation_spmv_iters\": %.4f\n}\n",
-                 static_cast<long long>(measured), sum_inf_s * inv,
-                 sum_rep_s * inv, sum_inf * inv, sum_rep * inv);
-    std::fclose(jf);
-    std::printf("  wrote %s\n", json_path.c_str());
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "infer");
+  json.begin_array("gemm_shapes");
+  for (const GemmShapeResult& r : gemm) {
+    json.begin_object();
+    json.field("m", r.m);
+    json.field("n", r.n);
+    json.field("k", r.k);
+    json.field("seed_gflops", r.seed_gflops);
+    json.field("packed_gflops", r.packed_gflops);
+    json.field("speedup", r.speedup);
+    json.end_object();
   }
+  json.end_array();
+  json.field("matrices_measured", measured);
+  json.field("per_matrix_inference_latency_s", sum_inf_s * inv);
+  json.field("per_matrix_representation_latency_s", sum_rep_s * inv);
+  json.field("inference_spmv_iters", sum_inf * inv);
+  json.field("representation_spmv_iters", sum_rep * inv);
+  json.end_object();
+  if (json.write_file(json_path))
+    std::printf("  wrote %s\n", json_path.c_str());
 
   // Shape: DT feature extraction costs more than CNN representation
   // building, and both prediction paths are O(few SpMV iterations).

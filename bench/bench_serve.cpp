@@ -17,12 +17,21 @@
 //   --requests <r>  total prediction requests per run     (default 1500)
 //   --threads <t>   comma list of client-thread counts    (default 1,2,4,8)
 //   --batch <b>     comma list of max_batch values        (default 1,8,32)
+//   --json <path>   machine-readable results              (default BENCH_serve.json)
+//   --trace <path>  chrome://tracing dump of the traced run (default: off)
+//
+// After the sweep, the best configuration is re-run with span tracing on
+// to measure the observability overhead (ISSUE 3 budget: <5%); BENCH_serve
+// .json carries throughput, p50/p99 latency, hit rate, and that overhead.
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 
 namespace dnnspmv::bench {
@@ -120,6 +129,8 @@ int run(int argc, char** argv) {
       parse_int_list(cli.get_string("threads", "1,2,4,8"));
   const std::vector<int> batches =
       parse_int_list(cli.get_string("batch", "1,8,32"));
+  const std::string json_path = cli.get_string("json", "BENCH_serve.json");
+  const std::string trace_path = cli.get_string("trace", "");
   cli.check_unused();
 
   std::printf("== bench_serve: SelectionService throughput ==\n");
@@ -130,8 +141,8 @@ int run(int argc, char** argv) {
 
   SelectorOptions sopts;
   sopts.mode = RepMode::kHistogram;
-  sopts.size1 = cfg.size;
-  sopts.size2 = cfg.bins;
+  sopts.rep_rows = cfg.size;
+  sopts.rep_bins = cfg.bins;
   sopts.train.epochs = std::min(cfg.epochs, 8);
   FormatSelector sel(sopts);
   sel.fit(lc.labeled, platform->formats());
@@ -147,6 +158,15 @@ int run(int argc, char** argv) {
               "req/s", "vs base", "hit rate", "mean batch", "p50 lat",
               "p95 lat");
   bool met_throughput = false, met_hits = false;
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "serve");
+  json.field("pool", static_cast<std::int64_t>(w.pool.size()));
+  json.field("requests", static_cast<std::int64_t>(w.order.size()));
+  json.field("baseline_req_s", base);
+  json.begin_array("sweep");
+  int best_threads = threads.front(), best_batch = batches.front();
+  double best_req_s = 0.0;
   for (int t : threads) {
     for (int b : batches) {
       const ServiceRun r =
@@ -158,12 +178,77 @@ int run(int argc, char** argv) {
                   1e6 * r.stats.latency_quantile(0.95));
       met_throughput |= r.throughput >= 3.0 * base;
       met_hits |= r.stats.hit_rate() >= 0.9;
+      if (r.throughput > best_req_s) {
+        best_req_s = r.throughput;
+        best_threads = t;
+        best_batch = b;
+      }
+      // Every serving number below comes from the obs registry: stats is
+      // ServiceMetrics::snapshot(), a typed view of the service's
+      // "serve<N>." instruments.
+      json.begin_object();
+      json.field("threads", t);
+      json.field("batch", b);
+      json.field("req_s", r.throughput);
+      json.field("vs_baseline", r.throughput / base);
+      json.field("hit_rate", r.stats.hit_rate());
+      json.field("mean_batch", r.stats.mean_batch());
+      json.field("p50_latency_us", 1e6 * r.stats.latency_quantile(0.50));
+      json.field("p99_latency_us", 1e6 * r.stats.latency_quantile(0.99));
+      json.end_object();
     }
   }
+  json.end_array();
+
+  // Observability overhead: re-run the best configuration with span
+  // tracing on and off, best-of-3 each to shrug off scheduler noise.
+  auto best_of = [&](int reps) {
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i)
+      best = std::max(best, run_service(sel, w, best_threads,
+                                        static_cast<std::size_t>(best_batch))
+                                .throughput);
+    return best;
+  };
+  const double untraced = best_of(3);
+  obs::clear_trace();
+  obs::set_enabled(true);
+  const double traced = best_of(3);
+  obs::set_enabled(false);
+  const double overhead_pct = 100.0 * (1.0 - traced / untraced);
+  const bool met_overhead = overhead_pct < 5.0;
+  std::printf("\ntracing overhead at %d threads, batch %d: "
+              "%.0f req/s off, %.0f req/s on (%.2f%%)\n",
+              best_threads, best_batch, untraced, traced, overhead_pct);
+  if (!trace_path.empty()) {
+    const std::int64_t n_events = obs::write_chrome_trace_file(trace_path);
+    std::printf("wrote %lld trace events to %s (%llu dropped)\n",
+                static_cast<long long>(n_events),
+                trace_path.c_str(),
+                static_cast<unsigned long long>(obs::dropped_trace_events()));
+  } else {
+    obs::clear_trace();  // don't hold ring memory for an unwanted dump
+  }
+
+  json.begin_object("traced");
+  json.field("threads", best_threads);
+  json.field("batch", best_batch);
+  json.field("untraced_req_s", untraced);
+  json.field("traced_req_s", traced);
+  json.field("overhead_pct", overhead_pct);
+  json.end_object();
+  json.field("accept_throughput_3x", met_throughput);
+  json.field("accept_hit_rate_90", met_hits);
+  json.field("accept_trace_overhead_5pct", met_overhead);
+  json.end_object();
+  if (json.write_file(json_path))
+    std::printf("wrote %s\n", json_path.c_str());
+
   std::printf("\nacceptance: throughput >= 3x baseline: %s; "
-              "hit rate >= 90%%: %s\n",
-              met_throughput ? "PASS" : "FAIL", met_hits ? "PASS" : "FAIL");
-  return met_throughput && met_hits ? 0 : 1;
+              "hit rate >= 90%%: %s; tracing overhead < 5%%: %s\n",
+              met_throughput ? "PASS" : "FAIL", met_hits ? "PASS" : "FAIL",
+              met_overhead ? "PASS" : "FAIL");
+  return met_throughput && met_hits && met_overhead ? 0 : 1;
 }
 
 }  // namespace

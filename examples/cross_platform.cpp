@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
               amd->name().c_str());
 
   const Dataset dst_ds =
-      build_dataset(dst_labeled, amd->formats(), opts.mode, opts.size1,
-                    opts.size2);
+      build_dataset(dst_labeled, amd->formats(), opts.mode, opts.rep_rows,
+                    opts.rep_bins);
 
   // Accuracy of the un-migrated source model on the target machine.
   auto accuracy_on = [&](FormatSelector& sel, const Dataset& ds) {

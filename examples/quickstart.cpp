@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
   // 2. Train the CNN selector (histogram representation, late merging).
   SelectorOptions opts;
   opts.mode = RepMode::kHistogram;
-  opts.size1 = 32;
-  opts.size2 = 16;
+  opts.rep_rows = 32;
+  opts.rep_bins = 16;
   opts.train.epochs = epochs;
   FormatSelector selector(opts);
   std::printf("training CNN selector (%d epochs)...\n", epochs);

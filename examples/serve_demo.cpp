@@ -1,11 +1,18 @@
 // Serving demo: train a selector, stand up a SelectionService, and hit it
 // from several client threads — then read the metrics block.
 //
-//   ./serve_demo [--clients 4] [--requests 400]
+//   ./serve_demo [--clients 4] [--requests 400] [--trace trace.json]
+//
+// With --trace, span tracing is enabled for the serving phase and a
+// chrome://tracing / Perfetto-loadable dump of every request's pipeline
+// (fingerprint → cache probe → queue → batch forward → fulfill) is
+// written to the given path, plus a flat JSON export of the registry.
 #include <cstdio>
 #include <thread>
 
 #include "common/cli.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "perf/labels.hpp"
 #include "serve/service.hpp"
 
@@ -16,6 +23,7 @@ int main(int argc, char** argv) {
   const int clients = static_cast<int>(cli.get_int("clients", 4));
   const auto requests =
       static_cast<std::size_t>(cli.get_int("requests", 400));
+  const std::string trace_path = cli.get_string("trace", "");
   cli.check_unused();
 
   // 1. A small trained selector (the usual offline pipeline).
@@ -29,8 +37,8 @@ int main(int argc, char** argv) {
   const auto labeled = collect_labels(corpus, *platform);
 
   SelectorOptions sopts;
-  sopts.size1 = 16;
-  sopts.size2 = 8;
+  sopts.rep_rows = 16;
+  sopts.rep_bins = 8;
   sopts.train.epochs = 8;
   FormatSelector selector(sopts);
   selector.fit(labeled, platform->formats());
@@ -47,6 +55,7 @@ int main(int argc, char** argv) {
   //    repeated-structure traffic a solver fleet generates.
   std::printf("serving %zu requests from %d clients...\n",
               requests * static_cast<std::size_t>(clients), clients);
+  if (!trace_path.empty()) obs::set_enabled(true);  // trace serving only
   std::vector<std::thread> workers;
   for (int c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
@@ -78,5 +87,20 @@ int main(int argc, char** argv) {
   std::printf("latency p95   %.0f us\n", 1e6 * s.latency_quantile(0.95));
   std::printf("cache entries %llu\n",
               static_cast<unsigned long long>(s.cache_entries));
+
+  // 5. Optional observability dump: the spans as a chrome://tracing
+  //    timeline, and the full registry (this service + nn + spmv) as JSON.
+  if (!trace_path.empty()) {
+    obs::set_enabled(false);
+    const std::int64_t n = obs::write_chrome_trace_file(trace_path);
+    std::printf("\nwrote %lld trace events to %s "
+                "(open in chrome://tracing or https://ui.perfetto.dev)\n",
+                static_cast<long long>(n), trace_path.c_str());
+    const std::string metrics_path = trace_path + ".metrics.json";
+    obs::write_text_file(metrics_path,
+                         obs::metrics_to_json(
+                             obs::MetricsRegistry::global().snapshot()));
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

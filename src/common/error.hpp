@@ -1,9 +1,20 @@
-// Error-checking macros used across the library.
+// Error taxonomy and checking macros used across the library.
 //
-// DNNSPMV_CHECK throws std::runtime_error with file/line context; it stays
-// active in release builds because almost every failure it guards (shape
-// mismatches, malformed files, invalid formats) is a data error, not a
-// programming error.
+// Every throwing path raises DnnspmvError, which derives from
+// std::runtime_error (so pre-taxonomy call sites that catch the base type
+// keep working) and carries a machine-readable errc so callers can branch
+// on the failure class instead of parsing what() strings:
+//
+//   try { service.predict(a); }
+//   catch (const DnnspmvError& e) {
+//     if (e.code() == errc::service_shutdown) resubmit_elsewhere();
+//   }
+//
+// DNNSPMV_CHECK throws with source file/line context; it stays active in
+// release builds because almost every failure it guards (shape mismatches,
+// malformed files, invalid formats) is a data error, not a programming
+// error. Parsers (io/mmio) additionally put the *input's* path and line
+// number in what().
 #pragma once
 
 #include <sstream>
@@ -12,12 +23,49 @@
 
 namespace dnnspmv {
 
+/// Failure classes. Keep the list short: a code is only worth adding when
+/// some caller would plausibly branch on it.
+enum class errc {
+  ok = 0,
+  invalid_argument,   // caller broke an API contract
+  data_error,         // malformed or inconsistent data (default for checks)
+  parse_error,        // unparseable input file (mmio, model files)
+  io_error,           // filesystem open/read/write failure
+  not_trained,        // predict/save/migrate before fit() or load()
+  service_shutdown,   // request submitted after SelectionService::shutdown()
+};
+
+inline const char* errc_name(errc c) {
+  switch (c) {
+    case errc::ok: return "ok";
+    case errc::invalid_argument: return "invalid_argument";
+    case errc::data_error: return "data_error";
+    case errc::parse_error: return "parse_error";
+    case errc::io_error: return "io_error";
+    case errc::not_trained: return "not_trained";
+    case errc::service_shutdown: return "service_shutdown";
+  }
+  return "unknown";
+}
+
+class DnnspmvError : public std::runtime_error {
+ public:
+  DnnspmvError(errc code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  errc code() const noexcept { return code_; }
+
+ private:
+  errc code_;
+};
+
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
-                                             int line, const std::string& msg) {
+                                             int line, const std::string& msg,
+                                             errc code = errc::data_error) {
   std::ostringstream os;
   os << file << ':' << line << ": check failed: " << expr;
   if (!msg.empty()) os << " — " << msg;
-  throw std::runtime_error(os.str());
+  throw DnnspmvError(code, os.str());
 }
 
 }  // namespace dnnspmv
@@ -34,5 +82,17 @@ namespace dnnspmv {
       std::ostringstream os_;                                              \
       os_ << msg;                                                          \
       ::dnnspmv::throw_check_failure(#cond, __FILE__, __LINE__, os_.str());\
+    }                                                                      \
+  } while (0)
+
+// Like DNNSPMV_CHECK_MSG but tags the thrown DnnspmvError with a specific
+// errc instead of the data_error default.
+#define DNNSPMV_CHECK_ERRC(cond, code, msg)                                \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::dnnspmv::throw_check_failure(#cond, __FILE__, __LINE__, os_.str(), \
+                                     code);                                \
     }                                                                      \
   } while (0)

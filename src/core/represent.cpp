@@ -131,16 +131,16 @@ Tensor density_scale_histogram(Tensor h, std::int64_t source_rows) {
 }
 
 std::vector<Tensor> make_inputs(const Csr& a, RepMode mode,
-                                std::int64_t size1, std::int64_t size2) {
+                                std::int64_t rep_rows, std::int64_t rep_bins) {
   switch (mode) {
     case RepMode::kBinary:
-      return {binary_rep(a, size1)};
+      return {binary_rep(a, rep_rows)};
     case RepMode::kBinaryDensity:
-      return {binary_rep(a, size1), density_rep(a, size1)};
+      return {binary_rep(a, rep_rows), density_rep(a, rep_rows)};
     case RepMode::kHistogram:
-      return {density_scale_histogram(row_histogram_raw(a, size1, size2),
+      return {density_scale_histogram(row_histogram_raw(a, rep_rows, rep_bins),
                                       a.rows),
-              density_scale_histogram(col_histogram_raw(a, size1, size2),
+              density_scale_histogram(col_histogram_raw(a, rep_rows, rep_bins),
                                       a.cols)};
   }
   DNNSPMV_CHECK_MSG(false, "invalid RepMode");

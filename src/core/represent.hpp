@@ -57,9 +57,9 @@ Tensor normalize_histogram(Tensor h);
 /// pipeline; the paper's /max variant is the ablation.
 Tensor density_scale_histogram(Tensor h, std::int64_t source_rows);
 
-/// The full input set for `mode`: size1×size1 for binary/density tensors,
-/// size1×size2 for histograms.
+/// The full input set for `mode`: rep_rows×rep_rows for binary/density tensors,
+/// rep_rows×rep_bins for histograms.
 std::vector<Tensor> make_inputs(const Csr& a, RepMode mode,
-                                std::int64_t size1, std::int64_t size2);
+                                std::int64_t rep_rows, std::int64_t rep_bins);
 
 }  // namespace dnnspmv

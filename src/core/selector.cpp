@@ -10,13 +10,13 @@ namespace dnnspmv {
 
 Dataset build_dataset(const std::vector<LabeledMatrix>& labeled,
                       const std::vector<Format>& candidates, RepMode mode,
-                      std::int64_t size1, std::int64_t size2) {
+                      std::int64_t rep_rows, std::int64_t rep_bins) {
   Dataset ds;
   ds.candidates = candidates;
   ds.samples.reserve(labeled.size());
   for (const LabeledMatrix& lm : labeled) {
     Sample s;
-    s.inputs = make_inputs(*lm.matrix, mode, size1, size2);
+    s.inputs = make_inputs(*lm.matrix, mode, rep_rows, rep_bins);
     s.features = extract_features(*lm.matrix);
     s.format_times = lm.format_times;
     s.label = lm.label;
@@ -34,9 +34,9 @@ CnnSpec FormatSelector::make_spec() const {
   const int nsources = rep_num_sources(opts_.mode);
   for (int s = 0; s < nsources; ++s) {
     if (opts_.mode == RepMode::kHistogram)
-      spec.input_hw.push_back({opts_.size1, opts_.size2});
+      spec.input_hw.push_back({opts_.rep_rows, opts_.rep_bins});
     else
-      spec.input_hw.push_back({opts_.size1, opts_.size1});
+      spec.input_hw.push_back({opts_.rep_rows, opts_.rep_rows});
   }
   spec.num_classes = static_cast<int>(candidates_.size());
   spec.late_merge = opts_.late_merge;
@@ -48,7 +48,7 @@ void FormatSelector::fit(const std::vector<LabeledMatrix>& labeled,
                          std::vector<Format> candidates) {
   candidates_ = std::move(candidates);
   const Dataset ds = build_dataset(labeled, candidates_, opts_.mode,
-                                   opts_.size1, opts_.size2);
+                                   opts_.rep_rows, opts_.rep_bins);
   const CnnSpec spec = make_spec();
   net_ = std::make_unique<MergeNet>(build_cnn(spec));
   train_cnn(*net_, ds, num_net_inputs(spec), opts_.train);
@@ -64,7 +64,7 @@ void FormatSelector::fit(const Dataset& train) {
 
 std::vector<Tensor> FormatSelector::prepare_inputs(const Csr& a) const {
   DNNSPMV_CHECK_MSG(net_, "predict on an untrained FormatSelector");
-  return make_inputs(a, opts_.mode, opts_.size1, opts_.size2);
+  return make_inputs(a, opts_.mode, opts_.rep_rows, opts_.rep_bins);
 }
 
 std::vector<std::int32_t> FormatSelector::predict_prepared(
@@ -142,8 +142,8 @@ void FormatSelector::save(const std::string& path) const {
   DNNSPMV_CHECK_MSG(os.is_open(), "cannot open " << path << " for write");
   const auto mode = static_cast<std::int32_t>(opts_.mode);
   os.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
-  os.write(reinterpret_cast<const char*>(&opts_.size1), sizeof(opts_.size1));
-  os.write(reinterpret_cast<const char*>(&opts_.size2), sizeof(opts_.size2));
+  os.write(reinterpret_cast<const char*>(&opts_.rep_rows), sizeof(opts_.rep_rows));
+  os.write(reinterpret_cast<const char*>(&opts_.rep_bins), sizeof(opts_.rep_bins));
   const std::int32_t late = opts_.late_merge ? 1 : 0;
   os.write(reinterpret_cast<const char*>(&late), sizeof(late));
   const auto ncand = static_cast<std::int32_t>(candidates_.size());
@@ -161,8 +161,8 @@ FormatSelector FormatSelector::load(const std::string& path) {
   SelectorOptions opts;
   std::int32_t mode = 0, late = 0, ncand = 0;
   is.read(reinterpret_cast<char*>(&mode), sizeof(mode));
-  is.read(reinterpret_cast<char*>(&opts.size1), sizeof(opts.size1));
-  is.read(reinterpret_cast<char*>(&opts.size2), sizeof(opts.size2));
+  is.read(reinterpret_cast<char*>(&opts.rep_rows), sizeof(opts.rep_rows));
+  is.read(reinterpret_cast<char*>(&opts.rep_bins), sizeof(opts.rep_bins));
   is.read(reinterpret_cast<char*>(&late), sizeof(late));
   is.read(reinterpret_cast<char*>(&ncand), sizeof(ncand));
   DNNSPMV_CHECK_MSG(is.good() && ncand >= 2, "corrupt selector file");

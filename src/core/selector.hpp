@@ -20,8 +20,17 @@ namespace dnnspmv {
 
 struct SelectorOptions {
   RepMode mode = RepMode::kHistogram;
-  std::int64_t size1 = 32;  // rows of the representation
-  std::int64_t size2 = 16;  // histogram bins (ignored for binary/density)
+  // Representation geometry. The old `size1`/`size2` names are kept as
+  // deprecated aliases (same storage) for one release; new code should
+  // use rep_rows/rep_bins.
+  union {
+    std::int64_t rep_rows = 32;  // rows of the representation
+    [[deprecated("use rep_rows")]] std::int64_t size1;
+  };
+  union {
+    std::int64_t rep_bins = 16;  // histogram bins (ignored for binary/density)
+    [[deprecated("use rep_bins")]] std::int64_t size2;
+  };
   bool late_merge = true;
   TrainConfig train;
 };
@@ -29,7 +38,7 @@ struct SelectorOptions {
 /// Builds the CNN-ready dataset from labelled matrices: step 2 of Figure 3.
 Dataset build_dataset(const std::vector<LabeledMatrix>& labeled,
                       const std::vector<Format>& candidates, RepMode mode,
-                      std::int64_t size1, std::int64_t size2);
+                      std::int64_t rep_rows, std::int64_t rep_bins);
 
 class FormatSelector {
  public:

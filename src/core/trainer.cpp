@@ -5,10 +5,36 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dnnspmv {
+namespace {
+
+// Trainer stats in the global registry. Counters/gauges are always live
+// (they are the epoch/step trajectory a monitoring scrape reads); the
+// step-duration histogram too — one clock pair per optimizer step is
+// noise next to the forward/backward inside it.
+struct TrainerObs {
+  obs::Counter& epochs;
+  obs::Counter& steps;
+  obs::Gauge& last_loss;
+  obs::Histogram& step_us;
+
+  static TrainerObs& get() {
+    static TrainerObs t{
+        obs::MetricsRegistry::global().counter("train.epochs"),
+        obs::MetricsRegistry::global().counter("train.steps"),
+        obs::MetricsRegistry::global().gauge("train.last_loss"),
+        obs::MetricsRegistry::global().histogram("train.step_us")};
+    return t;
+  }
+};
+
+}  // namespace
 
 std::vector<Tensor> assemble_batch(const Dataset& data,
                                    const std::vector<std::int32_t>& idx,
@@ -67,7 +93,9 @@ TrainHistory train_cnn(MergeNet& net, const Dataset& data, int net_inputs,
   std::vector<std::int32_t> order(data.samples.size());
   std::iota(order.begin(), order.end(), 0);
 
+  TrainerObs& tobs = TrainerObs::get();
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::Span epoch_span("train.epoch");
     // Step decay: drop the learning rate for the final third of training.
     if (cfg.epochs >= 6 && epoch == (cfg.epochs * 2) / 3)
       opt.set_lr(cfg.lr * 0.3);
@@ -76,6 +104,8 @@ TrainHistory train_cnn(MergeNet& net, const Dataset& data, int net_inputs,
     int steps = 0;
     for (std::size_t off = 0; off < order.size();
          off += static_cast<std::size_t>(cfg.batch)) {
+      obs::Span step_span("train.step");
+      Timer step_timer;
       const std::size_t end =
           std::min(order.size(), off + static_cast<std::size_t>(cfg.batch));
       const std::vector<std::int32_t> idx(order.begin() + off,
@@ -97,7 +127,11 @@ TrainHistory train_cnn(MergeNet& net, const Dataset& data, int net_inputs,
       hist.step_loss.push_back(loss);
       epoch_loss += loss;
       ++steps;
+      tobs.steps.inc();
+      tobs.last_loss.set(loss);
+      tobs.step_us.observe_seconds(step_timer.seconds());
     }
+    tobs.epochs.inc();
     hist.epoch_loss.push_back(epoch_loss / std::max(steps, 1));
     if (cfg.verbose)
       std::printf("  epoch %2d/%d  loss %.4f\n", epoch + 1, cfg.epochs,

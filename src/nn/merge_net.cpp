@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dnnspmv {
+namespace {
+
+// Whole-net pass durations land in these histograms (µs) whenever tracing
+// is on; the per-layer breakdown inside comes from Sequential's spans.
+obs::Histogram& forward_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("nn.forward_us");
+  return h;
+}
+
+obs::Histogram& backward_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("nn.backward_us");
+  return h;
+}
+
+}  // namespace
 
 Sequential& MergeNet::add_tower() {
   towers_.push_back(std::make_unique<Sequential>());
@@ -38,6 +58,7 @@ void MergeNet::forward(const std::vector<Tensor>& inputs, Tensor& logits,
 
 void MergeNet::forward(const std::vector<Tensor>& inputs, Tensor& logits,
                        bool training, Workspace& ws) {
+  obs::Span span("nn.forward", &forward_hist());
   DNNSPMV_CHECK_MSG(inputs.size() == towers_.size(),
                     "expected " << towers_.size() << " inputs, got "
                                 << inputs.size());
@@ -56,6 +77,7 @@ void MergeNet::backward(const std::vector<Tensor>& inputs,
 
 void MergeNet::backward(const std::vector<Tensor>& inputs,
                         const Tensor& grad_logits, Workspace& ws) {
+  obs::Span span("nn.backward", &backward_hist());
   Tensor grad_merged;
   head_.backward(merged_, head_out_, grad_logits, grad_merged, ws);
 

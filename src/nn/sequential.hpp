@@ -44,8 +44,14 @@ class Sequential final : public Layer {
   void set_frozen(bool frozen);
 
  private:
+  // Builds the cached per-layer span names ("nn.<layer>.fwd"/".bwd") the
+  // first traced pass needs; called only when obs tracing is enabled so
+  // untraced passes never pay the string work.
+  void ensure_span_names();
+
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<Tensor> acts_;  // activations: acts_[i] = output of layer i
+  std::vector<std::string> span_fwd_, span_bwd_;  // cached obs span names
 };
 
 }  // namespace dnnspmv

@@ -1,0 +1,115 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dnnspmv::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_double(out, v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    append_double(out, h.sum);
+    out += ", \"mean\": ";
+    append_double(out, h.mean());
+    out += ", \"p50\": ";
+    append_double(out, h.quantile(0.50));
+    out += ", \"p90\": ";
+    append_double(out, h.quantile(0.90));
+    out += ", \"p99\": ";
+    append_double(out, h.quantile(0.99));
+    out += ", \"buckets\": [";
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h.buckets[static_cast<std::size_t>(i)]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += i ? ",\n  " : "\n  ";
+    out += "{\"name\": ";
+    append_escaped(out, e.name);
+    out += ", \"cat\": \"dnnspmv\", \"ph\": \"X\", \"ts\": " +
+           std::to_string(e.ts_us) + ", \"dur\": " + std::to_string(e.dur_us) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+           ", \"args\": {\"depth\": " + std::to_string(e.depth) + "}}";
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  if (!os.is_open()) return false;
+  os << text;
+  return os.good();
+}
+
+std::int64_t write_chrome_trace_file(const std::string& path) {
+  const std::vector<TraceEvent> events = drain_trace_events();
+  if (!write_text_file(path, trace_to_chrome_json(events))) return -1;
+  return static_cast<std::int64_t>(events.size());
+}
+
+}  // namespace dnnspmv::obs

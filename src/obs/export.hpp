@@ -1,0 +1,33 @@
+// Exporters for the obs subsystem.
+//
+//   * metrics_to_json — flat JSON snapshot of a MetricsRegistry: counters
+//     and gauges as name→number, histograms as objects carrying count,
+//     sum, mean, p50/p90/p99 (in observed-value units) and the raw bucket
+//     array.
+//   * trace_to_chrome_json — "Trace Event Format" JSON that loads
+//     directly in chrome://tracing / Perfetto: one complete ("ph":"X")
+//     event per span, ts/dur in microseconds, one row per traced thread.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dnnspmv::obs {
+
+std::string metrics_to_json(const MetricsSnapshot& snap);
+
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events);
+
+/// Writes `text` to `path`; returns false (and leaves no partial file
+/// guarantees) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+/// Drains every thread's pending trace events and writes them as a
+/// chrome://tracing file. Returns the number of events written, or -1 on
+/// I/O failure.
+std::int64_t write_chrome_trace_file(const std::string& path);
+
+}  // namespace dnnspmv::obs

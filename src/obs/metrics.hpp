@@ -1,0 +1,130 @@
+// Process-wide metrics: named atomic counters, gauges, and fixed-bucket
+// histograms behind a registry.
+//
+// Instruments are registered once by name and returned by reference; the
+// references are stable for the registry's lifetime, so instrumentation
+// sites resolve their handles once (at construction, or via a local
+// static) and then update through plain relaxed atomics — the hot path
+// never takes the registry lock and never hashes a name.
+//
+// Histogram buckets are powers of two of the observed value: bucket i
+// counts observations in [2^i, 2^(i+1)), bucket 0 additionally takes
+// values < 1 and the last bucket takes everything larger. Latency
+// histograms record microseconds (observe_seconds converts), so the
+// buckets span 1 µs … ~2 s — the same shape the serve layer has used
+// since PR 1.
+//
+// A process-global registry (MetricsRegistry::global()) is what the
+// library's built-in instrumentation reports through; independent
+// instances can be created for isolation (tests do).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dnnspmv::obs {
+
+inline constexpr int kHistogramBuckets = 22;
+
+/// Monotonic event count. All updates are relaxed atomics.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (plus a CAS-max update for high-water marks).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d);
+  /// Raises the gauge to `v` if larger (monotonic high-water mark).
+  void update_max(double v);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed power-of-two-bucket histogram with count and sum.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t count = 0;
+    double sum = 0.0;  // in observed-value units
+
+    /// Upper edge of bucket `i`, in observed-value units.
+    static double bucket_upper(int i) {
+      return static_cast<double>(1ULL << (i + 1));
+    }
+    /// Upper edge of the bucket containing the q-th observation.
+    double quantile(double q) const;
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  void observe(double v);
+  /// Seconds → microseconds, so latency buckets span 1 µs … ~2 s.
+  void observe_seconds(double s) { observe(s * 1e6); }
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every instrument in a registry.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The registry the library's built-in instrumentation reports through.
+  static MetricsRegistry& global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. References stay valid for the registry's lifetime. Asking for an
+  /// existing name with a different instrument kind throws.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Copies every instrument whose name starts with `prefix` (all of them
+  /// for the default empty prefix). Names are kept un-stripped so exports
+  /// from the global registry stay unambiguous.
+  MetricsSnapshot snapshot(std::string_view prefix = {}) const;
+
+  /// Zeroes every instrument (benches reset between configurations).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dnnspmv::obs

@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace dnnspmv::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Bounded SPSC ring. The owning thread is the only producer; drains (any
+// thread, serialized by g_rings_mu) are the only consumer. head_ counts
+// published events, tail_ consumed ones; slots in [tail_, head_) are
+// immutable until the consumer advances tail_, so a full ring drops new
+// events instead of overwriting ones a drain may be copying.
+class TraceRing {
+ public:
+  static constexpr std::size_t kCapacity = 8192;
+
+  void push(const TraceEvent& e) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h - tail_.load(std::memory_order_acquire) >= kCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (slots_.empty()) slots_.resize(kCapacity);  // first traced event
+    slots_[h % kCapacity] = e;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  void drain(std::vector<TraceEvent>& out) {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    for (; t < h; ++t) out.push_back(slots_[t % kCapacity]);
+    tail_.store(t, std::memory_order_release);
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void reset_dropped() { dropped_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::vector<TraceEvent> slots_;  // sized lazily: untraced threads stay tiny
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct ThreadSink {
+  TraceRing ring;
+  std::uint32_t tid = 0;
+};
+
+std::mutex g_rings_mu;  // guards the registry below + serializes drains
+std::vector<std::shared_ptr<ThreadSink>>& rings() {
+  static std::vector<std::shared_ptr<ThreadSink>> v;
+  return v;
+}
+
+ThreadSink& local_sink() {
+  thread_local std::shared_ptr<ThreadSink> sink = [] {
+    auto s = std::make_shared<ThreadSink>();
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    s->tid = static_cast<std::uint32_t>(rings().size());
+    rings().push_back(s);  // registry keeps events of exited threads alive
+    return s;
+  }();
+  return *sink;
+}
+
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::int64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                               epoch)
+      .count();
+}
+
+Span::Span(std::string_view name, Histogram* hist) {
+  if (!enabled()) return;  // start_us_ stays -1: the destructor is a no-op
+  const std::size_t n = std::min(name.size(), kSpanNameCapacity - 1);
+  std::memcpy(name_, name.data(), n);
+  name_[n] = '\0';
+  hist_ = hist;
+  depth_ = t_depth++;
+  start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (start_us_ < 0) return;
+  const std::int64_t end = now_us();
+  --t_depth;
+  ThreadSink& sink = local_sink();
+  TraceEvent e;
+  std::memcpy(e.name, name_, kSpanNameCapacity);
+  e.ts_us = start_us_;
+  e.dur_us = end - start_us_;
+  e.tid = sink.tid;
+  e.depth = depth_;
+  sink.ring.push(e);
+  if (hist_) hist_->observe_seconds(static_cast<double>(e.dur_us) * 1e-6);
+}
+
+std::vector<TraceEvent> drain_trace_events() {
+  std::lock_guard<std::mutex> lock(g_rings_mu);
+  std::vector<TraceEvent> out;
+  for (const auto& sink : rings()) sink->ring.drain(out);
+  return out;
+}
+
+std::uint64_t dropped_trace_events() {
+  std::lock_guard<std::mutex> lock(g_rings_mu);
+  std::uint64_t total = 0;
+  for (const auto& sink : rings()) total += sink->ring.dropped();
+  return total;
+}
+
+void clear_trace() {
+  std::lock_guard<std::mutex> lock(g_rings_mu);
+  std::vector<TraceEvent> scratch;
+  for (const auto& sink : rings()) {
+    sink->ring.drain(scratch);
+    sink->ring.reset_dropped();
+    scratch.clear();
+  }
+}
+
+}  // namespace dnnspmv::obs

@@ -1,0 +1,75 @@
+// RAII span tracing with per-thread lock-free event sinks.
+//
+// A Span measures one scoped region: construction stamps a start time and
+// bumps a thread-local nesting depth, destruction emits a TraceEvent into
+// the calling thread's ring buffer (and optionally observes the duration
+// into a Histogram). Rings are single-producer (the owning thread) /
+// single-consumer (whoever drains, serialized by a global mutex), bounded,
+// and drop-on-full — producers never block and never overwrite a slot a
+// drain might be reading, which keeps the design ThreadSanitizer-clean.
+//
+// Everything is gated on a process-wide runtime flag (set_enabled). While
+// the flag is off, constructing a Span costs one relaxed atomic load and a
+// branch — no clock read, no name copy, no allocation — so instrumented
+// code is effectively free in production paths that don't want tracing.
+// Counters and histograms (obs/metrics.hpp) are NOT gated by this flag;
+// they are always live because service stats are built on them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dnnspmv::obs {
+
+class Histogram;
+
+/// Master tracing switch. Off by default.
+void set_enabled(bool on);
+bool enabled();
+
+/// Microseconds since the first obs call in the process (steady clock).
+std::int64_t now_us();
+
+inline constexpr std::size_t kSpanNameCapacity = 48;
+
+/// One completed span. `ts_us`/`dur_us` are in the now_us() timebase;
+/// `tid` is a small dense id assigned per thread on first use; `depth` is
+/// the span nesting level within its thread at the time it opened.
+struct TraceEvent {
+  char name[kSpanNameCapacity];  // NUL-terminated, truncated if longer
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+/// RAII scoped span. Non-copyable, meant for stack use only.
+class Span {
+ public:
+  /// `hist`, when given, receives the span duration (in seconds, via
+  /// observe_seconds) at close — one timing site feeding both sinks.
+  explicit Span(std::string_view name, Histogram* hist = nullptr);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::int64_t start_us_ = -1;  // -1 ⇒ tracing was off at construction
+  Histogram* hist_ = nullptr;
+  std::uint32_t depth_ = 0;
+  char name_[kSpanNameCapacity];
+};
+
+/// Moves every pending event (all threads, including exited ones) out of
+/// the rings, in per-thread FIFO order. Concurrent producers keep running;
+/// events they publish mid-drain are picked up by the next drain.
+std::vector<TraceEvent> drain_trace_events();
+
+/// Total events dropped because a thread's ring was full.
+std::uint64_t dropped_trace_events();
+
+/// Drains and discards everything pending and zeroes the dropped count.
+void clear_trace();
+
+}  // namespace dnnspmv::obs

@@ -1,6 +1,7 @@
 #include "serve/batcher.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace dnnspmv {
 
@@ -17,16 +18,30 @@ Batcher::Batcher(const FormatSelector& selector, RequestQueue& queue,
 
 void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
   if (batch.empty()) return;
+  // Queue wait is charged when a worker first sees the batch: the gap
+  // between submit()'s enqueue stamp and now.
+  const std::int64_t popped_us = obs::now_us();
+  for (const PredictRequest& r : batch)
+    if (r.enqueued_at_us >= 0)
+      metrics_.record_queue_wait(
+          static_cast<double>(popped_us - r.enqueued_at_us) * 1e-6);
   try {
     std::vector<std::vector<Tensor>> prepared;
     prepared.reserve(batch.size());
-    for (PredictRequest& r : batch) prepared.push_back(std::move(r.inputs));
-    const std::vector<std::int32_t> picks =
-        selector_.predict_prepared(prepared, &ws);
+    {
+      obs::Span span("serve.batch_assemble");
+      for (PredictRequest& r : batch) prepared.push_back(std::move(r.inputs));
+    }
+    std::vector<std::int32_t> picks;
+    {
+      obs::Span span("serve.forward");
+      picks = selector_.predict_prepared(prepared, &ws);
+    }
     DNNSPMV_CHECK(picks.size() == batch.size());
     // Cache and metrics first, promises last: once a client unblocks, its
     // prediction is already cached and the batch counters already reflect
     // it (snapshot() right after predict() must see this forward).
+    obs::Span span("serve.fulfill");
     for (std::size_t i = 0; i < batch.size(); ++i)
       cache_.put(batch[i].fingerprint, picks[i]);
     metrics_.record_batch(batch.size());

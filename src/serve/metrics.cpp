@@ -1,13 +1,21 @@
 #include "serve/metrics.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 namespace dnnspmv {
+namespace {
+
+std::string next_service_prefix() {
+  static std::atomic<int> instance{0};
+  return "serve" + std::to_string(instance.fetch_add(1)) + ".";
+}
+
+}  // namespace
 
 double ServiceStats::bucket_upper_seconds(int i) {
-  return static_cast<double>(1ULL << (i + 1)) * 1e-6;
+  // Registry histograms record microseconds; convert the bucket edge back.
+  return obs::Histogram::Snapshot::bucket_upper(i) * 1e-6;
 }
 
 double ServiceStats::latency_quantile(double q) const {
@@ -25,42 +33,40 @@ double ServiceStats::latency_quantile(double q) const {
   return bucket_upper_seconds(kLatencyBuckets - 1);
 }
 
-void ServiceMetrics::record_batch(std::size_t batch_size) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_samples_.fetch_add(batch_size, std::memory_order_relaxed);
-  std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
-  while (prev < batch_size &&
-         !max_batch_.compare_exchange_weak(prev, batch_size,
-                                           std::memory_order_relaxed)) {
-  }
-}
+ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* reg)
+    : reg_(reg ? reg : &obs::MetricsRegistry::global()),
+      prefix_(next_service_prefix()),
+      requests_(reg_->counter(prefix_ + "requests")),
+      cache_hits_(reg_->counter(prefix_ + "cache_hits")),
+      cache_misses_(reg_->counter(prefix_ + "cache_misses")),
+      rejected_(reg_->counter(prefix_ + "rejected")),
+      batches_(reg_->counter(prefix_ + "batches")),
+      batched_samples_(reg_->counter(prefix_ + "batched_samples")),
+      max_batch_(reg_->gauge(prefix_ + "max_batch")),
+      cache_entries_(reg_->gauge(prefix_ + "cache_entries")),
+      latency_(reg_->histogram(prefix_ + "latency_us")),
+      queue_wait_(reg_->histogram(prefix_ + "queue_wait_us")),
+      batch_size_(reg_->histogram(prefix_ + "batch_size")) {}
 
-void ServiceMetrics::record_latency(double seconds) {
-  const double us = std::max(seconds, 0.0) * 1e6;
-  // Bucket index = floor(log2(us)) clamped to the table.
-  const auto ticks = static_cast<std::uint64_t>(us);
-  const int idx =
-      ticks == 0
-          ? 0
-          : std::min(kLatencyBuckets - 1,
-                     static_cast<int>(std::bit_width(ticks)) - 1);
-  latency_[static_cast<std::size_t>(idx)].fetch_add(
-      1, std::memory_order_relaxed);
+void ServiceMetrics::record_batch(std::size_t batch_size) {
+  batches_.inc();
+  batched_samples_.inc(batch_size);
+  max_batch_.update_max(static_cast<double>(batch_size));
+  batch_size_.observe(static_cast<double>(batch_size));
 }
 
 ServiceStats ServiceMetrics::snapshot(std::uint64_t cache_entries) const {
+  cache_entries_.set(static_cast<double>(cache_entries));
   ServiceStats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batched_samples = batched_samples_.load(std::memory_order_relaxed);
-  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.requests = requests_.value();
+  s.cache_hits = cache_hits_.value();
+  s.cache_misses = cache_misses_.value();
+  s.rejected = rejected_.value();
+  s.batches = batches_.value();
+  s.batched_samples = batched_samples_.value();
+  s.max_batch = static_cast<std::uint64_t>(max_batch_.value());
   s.cache_entries = cache_entries;
-  for (int i = 0; i < kLatencyBuckets; ++i)
-    s.latency[static_cast<std::size_t>(i)] =
-        latency_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  s.latency = latency_.snapshot().buckets;
   return s;
 }
 

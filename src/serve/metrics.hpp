@@ -1,11 +1,14 @@
-// Lock-free service metrics: atomic counters plus a fixed-bucket latency
-// histogram.
+// Service metrics as a typed view over the obs registry.
 //
-// Writers (client threads, batch workers) touch only relaxed atomics, so
-// instrumentation never serializes the hot path. snapshot() produces a
-// plain ServiceStats value that is internally consistent enough for
-// monitoring (counters are read independently, not under a global lock —
-// the standard trade for zero-cost recording).
+// Since PR 3 the counters live in obs::MetricsRegistry (by default the
+// process-global one) under a per-service prefix ("serve0.", "serve1.",
+// …), so one registry export shows every live service next to the nn/
+// sparse instrumentation. ServiceMetrics resolves its handles once at
+// construction; recording is the same relaxed-atomic cost as the old
+// hand-rolled block, and snapshot() still produces the plain ServiceStats
+// value the tests and benches have always consumed — now guaranteed to
+// match the registry export for the same run because both read the same
+// atomics.
 //
 // Latency buckets are powers of two in microseconds: bucket i counts
 // requests with latency in [2^i, 2^(i+1)) µs, bucket 0 additionally takes
@@ -15,10 +18,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace dnnspmv {
 
-inline constexpr int kLatencyBuckets = 22;  // 1 µs … ~2 s, then overflow
+inline constexpr int kLatencyBuckets = obs::kHistogramBuckets;
 
 /// Plain-value snapshot of a ServiceMetrics block.
 struct ServiceStats {
@@ -55,31 +61,51 @@ struct ServiceStats {
 
 class ServiceMetrics {
  public:
+  /// Registers this block's instruments in `reg` (null → the process
+  /// global registry) under a fresh "serve<N>." prefix, so concurrent
+  /// services never share counters.
+  explicit ServiceMetrics(obs::MetricsRegistry* reg = nullptr);
+
   void record_hit() {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    requests_.inc();
+    cache_hits_.inc();
   }
   void record_miss() {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    requests_.inc();
+    cache_misses_.inc();
   }
-  void record_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void record_rejected() { rejected_.inc(); }
 
   void record_batch(std::size_t batch_size);
-  void record_latency(double seconds);
+  void record_latency(double seconds) { latency_.observe_seconds(seconds); }
+  /// Time a request spent queued before a worker popped it.
+  void record_queue_wait(double seconds) {
+    queue_wait_.observe_seconds(seconds);
+  }
 
-  /// `cache_entries` is supplied by the owner (the cache knows its size).
+  /// `cache_entries` is supplied by the owner (the cache knows its size);
+  /// it is also published to the registry's `<prefix>cache_entries` gauge.
   ServiceStats snapshot(std::uint64_t cache_entries = 0) const;
 
+  /// The registry this block reports into and its metric-name prefix —
+  /// `registry().snapshot(prefix())` is the untyped view of this block.
+  obs::MetricsRegistry& registry() const { return *reg_; }
+  const std::string& prefix() const { return prefix_; }
+
  private:
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> cache_misses_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> batched_samples_{0};
-  std::atomic<std::uint64_t> max_batch_{0};
-  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_{};
+  obs::MetricsRegistry* reg_;
+  std::string prefix_;
+  obs::Counter& requests_;
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Counter& rejected_;
+  obs::Counter& batches_;
+  obs::Counter& batched_samples_;
+  obs::Gauge& max_batch_;
+  obs::Gauge& cache_entries_;
+  obs::Histogram& latency_;
+  obs::Histogram& queue_wait_;
+  obs::Histogram& batch_size_;
 };
 
 }  // namespace dnnspmv

@@ -25,11 +25,14 @@ namespace dnnspmv {
 
 /// One queued prediction. `inputs` are the CNN representations of the
 /// matrix (built by the client thread); `result` delivers the predicted
-/// candidate index back to the waiting client.
+/// candidate index back to the waiting client. `enqueued_at_us` (obs
+/// timebase) is stamped by the submitter so workers can report queue wait;
+/// -1 means unstamped (now_us() legitimately returns 0 at its epoch).
 struct PredictRequest {
   std::uint64_t fingerprint = 0;
   std::vector<Tensor> inputs;
   std::promise<std::int32_t> result;
+  std::int64_t enqueued_at_us = -1;
 };
 
 class RequestQueue {

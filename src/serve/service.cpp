@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "serve/fingerprint.hpp"
 
 namespace dnnspmv {
@@ -13,9 +14,10 @@ SelectionService::SelectionService(const FormatSelector& selector,
       cache_(opts.cache_capacity, opts.cache_shards),
       queue_(opts.queue_capacity),
       batcher_(selector_, queue_, cache_, metrics_, opts.max_batch) {
-  DNNSPMV_CHECK_MSG(selector.trained(),
-                    "SelectionService needs a trained FormatSelector");
-  DNNSPMV_CHECK_MSG(opts.num_workers > 0, "need at least one worker");
+  DNNSPMV_CHECK_ERRC(selector.trained(), errc::not_trained,
+                     "SelectionService needs a trained FormatSelector");
+  DNNSPMV_CHECK_ERRC(opts.num_workers > 0, errc::invalid_argument,
+                     "need at least one worker");
   workers_.reserve(static_cast<std::size_t>(opts.num_workers));
   for (int i = 0; i < opts.num_workers; ++i)
     workers_.emplace_back([this] { batcher_.run(); });
@@ -31,32 +33,45 @@ void SelectionService::shutdown() {
 }
 
 std::future<std::int32_t> SelectionService::submit(const Csr& a) {
-  const std::uint64_t fp = structural_fingerprint(a);
+  std::uint64_t fp = 0;
+  {
+    obs::Span span("serve.fingerprint");
+    fp = structural_fingerprint(a);
+  }
 
-  std::int32_t cached = 0;
-  if (cache_.get(fp, cached)) {
-    metrics_.record_hit();
-    std::promise<std::int32_t> ready;
-    ready.set_value(cached);
-    return ready.get_future();
+  {
+    obs::Span span("serve.cache_probe");
+    std::int32_t cached = 0;
+    if (cache_.get(fp, cached)) {
+      metrics_.record_hit();
+      std::promise<std::int32_t> ready;
+      ready.set_value(cached);
+      return ready.get_future();
+    }
   }
   metrics_.record_miss();
 
   PredictRequest req;
   req.fingerprint = fp;
-  req.inputs = selector_.prepare_inputs(a);
+  {
+    obs::Span span("serve.prepare_inputs");
+    req.inputs = selector_.prepare_inputs(a);
+  }
   std::future<std::int32_t> fut = req.result.get_future();
+  req.enqueued_at_us = obs::now_us();
   if (!queue_.push(std::move(req))) {
     metrics_.record_rejected();
     std::promise<std::int32_t> failed;
-    failed.set_exception(std::make_exception_ptr(
-        std::runtime_error("SelectionService is shut down")));
+    failed.set_exception(std::make_exception_ptr(DnnspmvError(
+        errc::service_shutdown,
+        "SelectionService is shut down; request rejected")));
     return failed.get_future();
   }
   return fut;
 }
 
 std::int32_t SelectionService::predict_index(const Csr& a) {
+  obs::Span span("serve.predict");
   Timer timer;
   std::future<std::int32_t> fut = submit(a);
   const std::int32_t idx = fut.get();

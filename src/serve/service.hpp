@@ -23,7 +23,13 @@
 // Thread safety: predict()/predict_index()/submit()/snapshot() may be
 // called concurrently from any number of threads. shutdown() (or
 // destruction) drains in-flight requests before returning; requests that
-// arrive afterwards fail with std::runtime_error.
+// arrive afterwards fail with DnnspmvError(errc::service_shutdown).
+//
+// Observability: every stage is instrumented through src/obs — counters
+// and latency/queue-wait/batch-size histograms in the metrics registry
+// under this service's prefix (see metrics()), and, when obs::set_enabled
+// is on, trace spans for fingerprint / cache probe / representation
+// building / forward / fulfill that export to chrome://tracing.
 #pragma once
 
 #include <atomic>
@@ -70,6 +76,11 @@ class SelectionService {
 
   /// Counters + latency histogram; cheap, callable any time.
   ServiceStats snapshot() const;
+
+  /// The obs-registry view behind snapshot(): metrics().registry()
+  /// .snapshot(metrics().prefix()) exports the same numbers untyped,
+  /// alongside whatever else the process reports.
+  const ServiceMetrics& metrics() const { return metrics_; }
 
   const std::vector<Format>& candidates() const {
     return selector_.candidates();

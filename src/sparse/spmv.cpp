@@ -1,8 +1,44 @@
 #include "sparse/spmv.hpp"
 
+#include <array>
+#include <string>
+
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dnnspmv {
+namespace {
+
+// Per-format span names and duration histograms (µs). Only consulted
+// when obs tracing is enabled; the histograms are registered lazily on
+// the first traced multiply.
+const char* spmv_span_name(Format f) {
+  switch (f) {
+    case Format::kCoo: return "spmv.coo";
+    case Format::kCsr: return "spmv.csr";
+    case Format::kDia: return "spmv.dia";
+    case Format::kEll: return "spmv.ell";
+    case Format::kHyb: return "spmv.hyb";
+    case Format::kBsr: return "spmv.bsr";
+    case Format::kCsr5: return "spmv.csr5";
+  }
+  return "spmv.unknown";
+}
+
+obs::Histogram& spmv_hist(Format f) {
+  static std::array<obs::Histogram*, kNumFormats> hists = [] {
+    std::array<obs::Histogram*, kNumFormats> h{};
+    for (std::int32_t i = 0; i < kNumFormats; ++i)
+      h[static_cast<std::size_t>(i)] = &obs::MetricsRegistry::global()
+          .histogram(std::string(spmv_span_name(static_cast<Format>(i))) +
+                     "_us");
+    return h;
+  }();
+  return *hists[static_cast<std::size_t>(f)];
+}
+
+}  // namespace
 
 std::optional<AnyFormatMatrix> AnyFormatMatrix::convert(const Csr& a,
                                                         Format f) {
@@ -48,6 +84,9 @@ std::int64_t AnyFormatMatrix::bytes() const {
 
 void AnyFormatMatrix::spmv(std::span<const double> x,
                            std::span<double> y) const {
+  // One relaxed load + branch when tracing is off (inside Span); the
+  // histogram lookup is two loads after first use.
+  obs::Span span(spmv_span_name(format_), &spmv_hist(format_));
   std::visit(
       [&](const auto& s) {
         using T = std::decay_t<decltype(s)>;

@@ -18,8 +18,8 @@ FormatSelector tiny_selector() {
   const auto platform = make_analytic_cpu(intel_xeon_params());
   const auto labeled = collect_labels(corpus, *platform);
   SelectorOptions opts;
-  opts.size1 = 16;
-  opts.size2 = 8;
+  opts.rep_rows = 16;
+  opts.rep_bins = 8;
   opts.train.epochs = 5;
   FormatSelector sel(opts);
   sel.fit(labeled, platform->formats());

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "gen/generators.hpp"
 
 namespace dnnspmv {
@@ -98,6 +100,47 @@ TEST(Mmio, RejectsTruncatedData) {
       "2 2 2\n"
       "1 1 1.0\n");
   EXPECT_THROW(read_matrix_market(is), std::runtime_error);
+}
+
+TEST(Mmio, ParseErrorsCarryLineAndFileContext) {
+  // Bad entry on line 3 of the stream → typed parse_error naming the line.
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  try {
+    read_matrix_market(is);
+    FAIL() << "expected DnnspmvError";
+  } catch (const DnnspmvError& e) {
+    EXPECT_EQ(e.code(), errc::parse_error);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+
+  // The file wrapper prepends the path so batch ingest logs are actionable.
+  const std::string path = ::testing::TempDir() + "/mmio_bad.mtx";
+  {
+    std::ofstream os(path);
+    os << "%%MatrixMarket matrix coordinate real general\n"
+          "2 2 1\n"
+          "1 oops 1.0\n";
+  }
+  try {
+    read_matrix_market_file(path);
+    FAIL() << "expected DnnspmvError";
+  } catch (const DnnspmvError& e) {
+    EXPECT_EQ(e.code(), errc::parse_error);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+
+  try {
+    read_matrix_market_file("/nonexistent/x.mtx");
+    FAIL() << "expected DnnspmvError";
+  } catch (const DnnspmvError& e) {
+    EXPECT_EQ(e.code(), errc::io_error);
+  }
 }
 
 TEST(Mmio, WriteReadRoundTrip) {

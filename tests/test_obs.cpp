@@ -1,0 +1,371 @@
+// src/obs: concurrent counter/gauge/histogram updates, span nesting and
+// ordering through the per-thread rings, and exporter JSON round-trips
+// (validated with a minimal JSON parser, not string matching alone).
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dnnspmv::obs {
+namespace {
+
+// Tracing state is process-global; tests that enable it clean up after
+// themselves so order (and same-process reruns) never matters.
+struct TracingGuard {
+  TracingGuard() {
+    set_enabled(false);
+    clear_trace();
+  }
+  ~TracingGuard() {
+    set_enabled(false);
+    clear_trace();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator/extractor for the exporter
+// round-trips: validates full syntax and fetches top-level-ish numbers.
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& text) : p_(text.c_str()) {}
+
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return *p_ == '\0';
+  }
+
+ private:
+  bool value() {
+    switch (*p_) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++p_;  // '{'
+    ws();
+    if (*p_ == '}') { ++p_; return true; }
+    while (true) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (*p_ != ':') return false;
+      ++p_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (*p_ == ',') { ++p_; continue; }
+      if (*p_ == '}') { ++p_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++p_;  // '['
+    ws();
+    if (*p_ == ']') { ++p_; return true; }
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (*p_ == ',') { ++p_; continue; }
+      if (*p_ == ']') { ++p_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (*p_ != '"') return false;
+    ++p_;
+    while (*p_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (!*p_) return false;
+      }
+      ++p_;
+    }
+    if (*p_ != '"') return false;
+    ++p_;
+    return true;
+  }
+  bool number() {
+    const char* start = p_;
+    char* end = nullptr;
+    std::strtod(p_, &end);
+    if (end == start) return false;
+    p_ = end;
+    return true;
+  }
+  bool literal(const char* lit) {
+    for (; *lit; ++lit, ++p_)
+      if (*p_ != *lit) return false;
+    return true;
+  }
+  void ws() {
+    while (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r') ++p_;
+  }
+
+  const char* p_;
+};
+
+// First number following `"key":` — names in these tests are unique.
+double json_number_after(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  EXPECT_NE(at, std::string::npos) << "key " << key << " not in " << text;
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPer = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) c.inc();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST(ObsGauge, AddAndMaxUnderContention) {
+  MetricsRegistry reg;
+  Gauge& sum = reg.gauge("sum");
+  Gauge& high = reg.gauge("high");
+  constexpr int kThreads = 4;
+  constexpr int kPer = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        sum.add(1.0);
+        high.update_max(static_cast<double>(t * kPer + i));
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_DOUBLE_EQ(sum.value(), kThreads * kPer);
+  EXPECT_DOUBLE_EQ(high.value(), kThreads * kPer - 1);
+}
+
+TEST(ObsHistogram, ConcurrentObservationsCountExactly) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPer = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i)
+        h.observe(static_cast<double>((t + i) % 1000));
+    });
+  for (auto& t : ts) t.join();
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPer);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  // Every observed value is < 1000 < 1024, so the p100 edge is ≤ 2^10.
+  EXPECT_LE(s.quantile(1.0), 1024.0);
+  EXPECT_GT(s.quantile(1.0), s.quantile(0.0) - 1.0);
+}
+
+TEST(ObsHistogram, BucketEdgesAndQuantileShape) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("shape");
+  h.observe(0.5);   // bucket 0
+  h.observe(3.0);   // bucket 1 ([2,4))
+  h.observe(1000);  // bucket 9 ([512,1024))
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[9], 1u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.01), 2.0);    // first bucket's upper edge
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1024.0);  // last occupied bucket's edge
+  EXPECT_NEAR(s.mean(), (0.5 + 3.0 + 1000.0) / 3.0, 1e-9);
+}
+
+TEST(ObsRegistry, SameNameSameHandleDifferentKindThrows) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x"), std::logic_error);
+}
+
+TEST(ObsRegistry, SnapshotFiltersByPrefixAndResets) {
+  MetricsRegistry reg;
+  reg.counter("a.hits").inc(3);
+  reg.counter("b.hits").inc(5);
+  reg.gauge("a.depth").set(2.5);
+  reg.histogram("a.lat").observe(7.0);
+
+  const MetricsSnapshot all = reg.snapshot();
+  EXPECT_EQ(all.counters.size(), 2u);
+  const MetricsSnapshot only_a = reg.snapshot("a.");
+  EXPECT_EQ(only_a.counters.size(), 1u);
+  EXPECT_EQ(only_a.counters.at("a.hits"), 3u);
+  EXPECT_EQ(only_a.gauges.at("a.depth"), 2.5);
+  EXPECT_EQ(only_a.histograms.at("a.lat").count, 1u);
+  EXPECT_EQ(only_a.histograms.count("b.hits"), 0u);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter("a.hits").value(), 0u);
+  EXPECT_EQ(reg.snapshot().counters.at("b.hits"), 0u);
+}
+
+TEST(ObsSpan, DisabledSpansEmitNothing) {
+  TracingGuard guard;
+  {
+    Span s("should_not_appear");
+  }
+  EXPECT_TRUE(drain_trace_events().empty());
+}
+
+TEST(ObsSpan, NestingDepthOrderingAndContainment) {
+  TracingGuard guard;
+  set_enabled(true);
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+    }
+    {
+      Span sibling("sibling");
+    }
+  }
+  set_enabled(false);
+  const std::vector<TraceEvent> events = drain_trace_events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans close innermost-first, so ring order is inner, sibling, outer.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "sibling");
+  EXPECT_STREQ(events[2].name, "outer");
+  const TraceEvent& inner = events[0];
+  const TraceEvent& sibling = events[1];
+  const TraceEvent& outer = events[2];
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(sibling.depth, 1u);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Parent interval contains both children; siblings are ordered.
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, sibling.ts_us + sibling.dur_us);
+  EXPECT_LE(inner.ts_us, sibling.ts_us);
+}
+
+TEST(ObsSpan, ConcurrentThreadsGetDistinctTidsAndLoseNothing) {
+  TracingGuard guard;
+  set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPer = 500;  // well under ring capacity per thread
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) {
+        Span s("worker_span");
+      }
+    });
+  for (auto& t : ts) t.join();
+  set_enabled(false);
+  const std::vector<TraceEvent> events = drain_trace_events();
+  EXPECT_EQ(events.size(), static_cast<std::size_t>(kThreads) * kPer);
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(dropped_trace_events(), 0u);
+}
+
+TEST(ObsSpan, FeedsAttachedHistogram) {
+  TracingGuard guard;
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("span_us");
+  set_enabled(true);
+  {
+    Span s("timed", &h);
+  }
+  set_enabled(false);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(ObsExport, MetricsJsonIsValidAndRoundTripsValues) {
+  MetricsRegistry reg;
+  reg.counter("srv.requests").inc(42);
+  reg.gauge("srv.cache_entries").set(17.0);
+  Histogram& h = reg.histogram("srv.latency_us");
+  for (int i = 0; i < 10; ++i) h.observe(100.0);
+
+  const std::string json = metrics_to_json(reg.snapshot());
+  EXPECT_TRUE(MiniJson(json).valid()) << json;
+  EXPECT_EQ(json_number_after(json, "srv.requests"), 42.0);
+  EXPECT_EQ(json_number_after(json, "srv.cache_entries"), 17.0);
+  EXPECT_EQ(json_number_after(json, "count"), 10.0);
+  EXPECT_EQ(json_number_after(json, "p50"), 128.0);  // [64,128) bucket edge
+
+  // Empty registry must still be valid JSON.
+  MetricsRegistry empty;
+  EXPECT_TRUE(MiniJson(metrics_to_json(empty.snapshot())).valid());
+}
+
+TEST(ObsExport, ChromeTraceJsonIsValidTraceEventFormat) {
+  TracingGuard guard;
+  set_enabled(true);
+  {
+    Span outer("outer \"quoted\"");  // name escaping must survive
+    Span inner("inner");
+  }
+  set_enabled(false);
+  const std::vector<TraceEvent> events = drain_trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  const std::string json = trace_to_chrome_json(events);
+  EXPECT_TRUE(MiniJson(json).valid()) << json;
+  // The fields chrome://tracing requires for complete events.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_TRUE(MiniJson(trace_to_chrome_json({})).valid());
+}
+
+TEST(ObsExport, WriteChromeTraceFileDrains) {
+  TracingGuard guard;
+  set_enabled(true);
+  {
+    Span s("to_file");
+  }
+  set_enabled(false);
+  const std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  EXPECT_EQ(write_chrome_trace_file(path), 1);
+  EXPECT_TRUE(drain_trace_events().empty());  // the write consumed them
+  std::ifstream is(path);
+  ASSERT_TRUE(is.is_open());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  EXPECT_TRUE(MiniJson(ss.str()).valid());
+  EXPECT_NE(ss.str().find("to_file"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnnspmv::obs

@@ -29,8 +29,8 @@ struct SmallPipeline {
 SelectorOptions fast_options() {
   SelectorOptions opts;
   opts.mode = RepMode::kHistogram;
-  opts.size1 = 16;
-  opts.size2 = 8;
+  opts.rep_rows = 16;
+  opts.rep_bins = 8;
   opts.train.epochs = 10;
   opts.train.batch = 16;
   opts.train.lr = 2e-3;
@@ -85,6 +85,21 @@ TEST(Selector, PredictBeforeFitThrows) {
   EXPECT_THROW(sel.predict(a), std::runtime_error);
 }
 
+TEST(Selector, DeprecatedSizeAliasesShareStorage) {
+  SelectorOptions opts;
+  opts.rep_rows = 24;
+  opts.rep_bins = 12;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(opts.size1, 24);
+  EXPECT_EQ(opts.size2, 12);
+  opts.size1 = 40;  // pre-rename callers keep compiling for one release
+  opts.size2 = 20;
+#pragma GCC diagnostic pop
+  EXPECT_EQ(opts.rep_rows, 40);
+  EXPECT_EQ(opts.rep_bins, 20);
+}
+
 TEST(Selector, MigrationKeepsCandidates) {
   SmallPipeline p;
   FormatSelector sel(fast_options());
@@ -94,8 +109,8 @@ TEST(Selector, MigrationKeepsCandidates) {
   const auto amd_labeled = collect_labels(p.corpus, *amd);
   const Dataset target = build_dataset(amd_labeled, amd->formats(),
                                        sel.options().mode,
-                                       sel.options().size1,
-                                       sel.options().size2);
+                                       sel.options().rep_rows,
+                                       sel.options().rep_bins);
   TrainConfig cfg;
   cfg.epochs = 3;
   cfg.batch = 16;

@@ -10,7 +10,9 @@
 #include <set>
 #include <thread>
 
+#include "common/error.hpp"
 #include "core/adaptive.hpp"
+#include "obs/metrics.hpp"
 #include "perf/labels.hpp"
 #include "serve/fingerprint.hpp"
 
@@ -36,8 +38,8 @@ struct ServePipeline {
 
     SelectorOptions opts;
     opts.mode = RepMode::kHistogram;
-    opts.size1 = 16;
-    opts.size2 = 8;
+    opts.rep_rows = 16;
+    opts.rep_bins = 8;
     opts.train.epochs = 6;
     opts.train.batch = 16;
     opts.train.lr = 2e-3;
@@ -229,11 +231,61 @@ TEST(SelectionService, ShutdownAnswersInFlightThenRejects) {
     EXPECT_EQ(idx, p.selector.predict_index(
                        p.corpus[static_cast<std::size_t>(i)].matrix));
   }
-  // After shutdown, new uncached work is rejected with an exception.
-  EXPECT_THROW(service.predict_index(p.corpus[50].matrix),
-               std::runtime_error);
+  // After shutdown, new uncached work is rejected with a typed error that
+  // is still a std::runtime_error for pre-taxonomy catch sites.
+  try {
+    service.predict_index(p.corpus[50].matrix);
+    FAIL() << "expected DnnspmvError";
+  } catch (const DnnspmvError& e) {
+    EXPECT_EQ(e.code(), errc::service_shutdown);
+  }
   EXPECT_GE(service.snapshot().rejected, 1u);
   service.shutdown();  // idempotent
+}
+
+TEST(SelectionServiceObs, SnapshotMatchesRegistryExport) {
+  auto& p = pipeline();
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 8;
+  SelectionService service(p.selector, opts);
+
+  for (int i = 0; i < 5; ++i)
+    service.predict_index(p.corpus[static_cast<std::size_t>(i % 3)].matrix);
+
+  // The typed snapshot and the registry's untyped export read the same
+  // atomics, so for an idle service they must agree exactly.
+  const ServiceStats s = service.snapshot();
+  const std::string& prefix = service.metrics().prefix();
+  const obs::MetricsSnapshot reg =
+      service.metrics().registry().snapshot(prefix);
+
+  EXPECT_EQ(reg.counters.at(prefix + "requests"), s.requests);
+  EXPECT_EQ(reg.counters.at(prefix + "cache_hits"), s.cache_hits);
+  EXPECT_EQ(reg.counters.at(prefix + "cache_misses"), s.cache_misses);
+  EXPECT_EQ(reg.counters.at(prefix + "rejected"), s.rejected);
+  EXPECT_EQ(reg.counters.at(prefix + "batches"), s.batches);
+  EXPECT_EQ(reg.counters.at(prefix + "batched_samples"), s.batched_samples);
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.gauges.at(prefix + "max_batch")),
+            s.max_batch);
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(reg.gauges.at(prefix + "cache_entries")),
+      s.cache_entries);
+  const obs::Histogram::Snapshot& lat =
+      reg.histograms.at(prefix + "latency_us");
+  EXPECT_EQ(lat.count, s.requests);
+  for (int i = 0; i < kLatencyBuckets; ++i)
+    EXPECT_EQ(lat.buckets[static_cast<std::size_t>(i)],
+              s.latency[static_cast<std::size_t>(i)]);
+  // Queue wait was recorded for each batched (cache-miss) request.
+  EXPECT_EQ(reg.histograms.at(prefix + "queue_wait_us").count,
+            s.cache_misses);
+  EXPECT_EQ(reg.histograms.at(prefix + "batch_size").count, s.batches);
+
+  // A second service registers under a different prefix: no sharing.
+  SelectionService other(p.selector, opts);
+  EXPECT_NE(other.metrics().prefix(), prefix);
+  EXPECT_EQ(other.snapshot().requests, 0u);
 }
 
 TEST(SelectionService, MultithreadedHammerMatchesDirectPredictions) {
