@@ -17,13 +17,25 @@
 //   --requests <r>  total prediction requests per run     (default 1500)
 //   --threads <t>   comma list of client-thread counts    (default 1,2,4,8)
 //   --batch <b>     comma list of max_batch values        (default 1,8,32)
+//   --overload <0|1>  run the overload scenario            (default 1)
 //   --json <path>   machine-readable results              (default BENCH_serve.json)
 //   --trace <path>  chrome://tracing dump of the traced run (default: off)
 //
 // After the sweep, the best configuration is re-run with span tracing on
 // to measure the observability overhead (ISSUE 3 budget: <5%); BENCH_serve
 // .json carries throughput, p50/p99 latency, hit rate, and that overhead.
+//
+// Overload scenario (ISSUE 5): a tiny queue, one worker slowed by the
+// fault-injection hook, and open-loop submitters firing fresh (uncached)
+// matrices with per-request deadlines. The robustness layer must keep the
+// service predictable while unhealthy: availability stays 100% (every
+// request answered — from the CNN or the degraded FallbackSelector path,
+// never a timeout or a hang), no client waits past its deadline, and the
+// shed/degraded work is visible in the metrics. Gated in BENCH_serve.json
+// as accept_overload_availability.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 
@@ -32,6 +44,7 @@
 #include "common/timer.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "serve/fault.hpp"
 #include "serve/service.hpp"
 
 namespace dnnspmv::bench {
@@ -117,6 +130,98 @@ ServiceRun run_service(const FormatSelector& sel, const Workload& w,
   return run;
 }
 
+struct OverloadResult {
+  std::size_t submitted = 0;
+  std::size_t answered = 0;          // got a prediction (CNN or degraded)
+  std::size_t deadline_failures = 0; // deadline_exceeded
+  std::size_t other_failures = 0;    // anything else (must stay 0)
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  ServiceStats stats;
+
+  double availability() const {
+    return submitted == 0
+               ? 1.0
+               : static_cast<double>(answered) /
+                     static_cast<double>(submitted);
+  }
+};
+
+// Saturates a deliberately under-provisioned service (tiny queue, one
+// worker slowed by fault injection) with distinct matrices — every request
+// is a cache miss, so nothing shields the queue. The robustness layer is
+// what must keep every client answered and bounded.
+OverloadResult run_overload(const FormatSelector& sel,
+                            const std::vector<CorpusEntry>& corpus,
+                            std::chrono::milliseconds deadline) {
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 4;
+  opts.queue_capacity = 16;
+  opts.shed_watermark = 0.5;
+  opts.push_retries = 2;
+  opts.push_backoff_us = 50;
+  SelectionService service(sel, opts);
+
+  fault::Plan slow;   // every forward drags: the CNN path is saturated
+  slow.delay_prob = 1.0;
+  slow.delay_us = 3'000;
+  fault::ScopedFaults faults(fault::Site::kForward, slow);
+
+  // Closed-loop clients: in-flight requests ≈ kClients, so overload needs
+  // more clients than the shed threshold (queue_capacity × watermark = 8).
+  constexpr int kClients = 16;
+  const std::size_t per = corpus.size() / kClients;
+  OverloadResult r;
+  r.submitted = per * kClients;
+  std::vector<std::vector<double>> lat_ms(kClients);
+  std::atomic<std::size_t> answered{0}, deadline_failures{0},
+      other_failures{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      lat_ms[static_cast<std::size_t>(c)].reserve(per);
+      for (std::size_t i = 0; i < per; ++i) {
+        const Csr& a =
+            corpus[static_cast<std::size_t>(c) * per + i].matrix;
+        Timer t;
+        try {
+          (void)service.predict_index(a, deadline);
+          ++answered;
+        } catch (const DnnspmvError& e) {
+          if (e.code() == errc::deadline_exceeded)
+            ++deadline_failures;
+          else
+            ++other_failures;
+        }
+        lat_ms[static_cast<std::size_t>(c)].push_back(t.seconds() * 1e3);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  std::vector<double> all;
+  all.reserve(r.submitted);
+  for (const auto& v : lat_ms) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const auto at = [&](double q) {
+    if (all.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(all.size() - 1));
+    return all[idx];
+  };
+  r.answered = answered.load();
+  r.deadline_failures = deadline_failures.load();
+  r.other_failures = other_failures.load();
+  r.p50_ms = at(0.50);
+  r.p99_ms = at(0.99);
+  r.max_ms = all.empty() ? 0.0 : all.back();
+  r.stats = service.snapshot();
+  return r;
+}
+
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchConfig cfg = parse_common(cli);
@@ -129,6 +234,7 @@ int run(int argc, char** argv) {
       parse_int_list(cli.get_string("threads", "1,2,4,8"));
   const std::vector<int> batches =
       parse_int_list(cli.get_string("batch", "1,8,32"));
+  const bool overload = cli.get_int("overload", 1) != 0;
   const std::string json_path = cli.get_string("json", "BENCH_serve.json");
   const std::string trace_path = cli.get_string("trace", "");
   cli.check_unused();
@@ -237,18 +343,55 @@ int run(int argc, char** argv) {
   json.field("traced_req_s", traced);
   json.field("overhead_pct", overhead_pct);
   json.end_object();
+  // Overload scenario: availability must hold at 100% with the degraded
+  // path soaking up what the saturated CNN path cannot serve in time.
+  bool met_overload = true;
+  if (overload) {
+    const auto deadline = std::chrono::milliseconds(250);
+    const OverloadResult o = run_overload(sel, lc.corpus, deadline);
+    met_overload = o.availability() >= 1.0 && o.other_failures == 0 &&
+                   o.stats.degraded > 0 &&
+                   o.max_ms < 1e3 * 0.25 * 2;  // nobody blocked past ~2x deadline
+    std::printf("\noverload (1 slow worker, queue 16, deadline 250ms): "
+                "%zu submitted, %zu answered (%.1f%%), %zu deadline-failed; "
+                "degraded=%llu shed=%llu retries=%llu; "
+                "p50 %.1fms p99 %.1fms max %.1fms\n",
+                o.submitted, o.answered, 100.0 * o.availability(),
+                o.deadline_failures,
+                static_cast<unsigned long long>(o.stats.degraded),
+                static_cast<unsigned long long>(o.stats.shed),
+                static_cast<unsigned long long>(o.stats.retries),
+                o.p50_ms, o.p99_ms, o.max_ms);
+    json.begin_object("overload");
+    json.field("submitted", static_cast<std::int64_t>(o.submitted));
+    json.field("answered", static_cast<std::int64_t>(o.answered));
+    json.field("deadline_failures",
+               static_cast<std::int64_t>(o.deadline_failures));
+    json.field("availability", o.availability());
+    json.field("degraded", static_cast<std::int64_t>(o.stats.degraded));
+    json.field("shed", static_cast<std::int64_t>(o.stats.shed));
+    json.field("retries", static_cast<std::int64_t>(o.stats.retries));
+    json.field("deadline_expired",
+               static_cast<std::int64_t>(o.stats.deadline_expired));
+    json.field("p50_ms", o.p50_ms);
+    json.field("p99_ms", o.p99_ms);
+    json.field("max_ms", o.max_ms);
+    json.end_object();
+  }
   json.field("accept_throughput_3x", met_throughput);
   json.field("accept_hit_rate_90", met_hits);
   json.field("accept_trace_overhead_5pct", met_overhead);
+  json.field("accept_overload_availability", met_overload);
   json.end_object();
   if (json.write_file(json_path))
     std::printf("wrote %s\n", json_path.c_str());
 
   std::printf("\nacceptance: throughput >= 3x baseline: %s; "
-              "hit rate >= 90%%: %s; tracing overhead < 5%%: %s\n",
+              "hit rate >= 90%%: %s; tracing overhead < 5%%: %s; "
+              "overload availability 100%%: %s\n",
               met_throughput ? "PASS" : "FAIL", met_hits ? "PASS" : "FAIL",
-              met_overhead ? "PASS" : "FAIL");
-  return met_throughput && met_hits && met_overhead ? 0 : 1;
+              met_overhead ? "PASS" : "FAIL", met_overload ? "PASS" : "FAIL");
+  return met_throughput && met_hits && met_overhead && met_overload ? 0 : 1;
 }
 
 }  // namespace

@@ -33,6 +33,8 @@ enum class errc {
   io_error,           // filesystem open/read/write failure
   not_trained,        // predict/save/migrate before fit() or load()
   service_shutdown,   // request submitted after SelectionService::shutdown()
+  deadline_exceeded,  // request expired before a worker could serve it
+  fault_injected,     // failure injected by the serve-layer fault hook
 };
 
 inline const char* errc_name(errc c) {
@@ -44,6 +46,8 @@ inline const char* errc_name(errc c) {
     case errc::io_error: return "io_error";
     case errc::not_trained: return "not_trained";
     case errc::service_shutdown: return "service_shutdown";
+    case errc::deadline_exceeded: return "deadline_exceeded";
+    case errc::fault_injected: return "fault_injected";
   }
   return "unknown";
 }

@@ -117,6 +117,12 @@ Format FormatSelector::predict(const Csr& a) const {
   return candidates_[static_cast<std::size_t>(predict_index(a))];
 }
 
+std::int32_t FormatSelector::candidate_index(Format f) const {
+  for (std::size_t i = 0; i < candidates_.size(); ++i)
+    if (candidates_[i] == f) return static_cast<std::int32_t>(i);
+  return -1;
+}
+
 MergeNet& FormatSelector::net() {
   DNNSPMV_CHECK(net_);
   return *net_;

@@ -87,6 +87,11 @@ class FormatSelector {
       Workspace* ws = nullptr) const;
 
   const std::vector<Format>& candidates() const { return candidates_; }
+
+  /// Index of `f` in candidates(), or -1 when `f` is not a candidate.
+  /// Lets alternate answer paths (the serve layer's FallbackSelector, cost
+  /// models) map a Format into this selector's class-index space.
+  std::int32_t candidate_index(Format f) const;
   const SelectorOptions& options() const { return opts_; }
   bool trained() const { return net_ != nullptr; }
   MergeNet& net();

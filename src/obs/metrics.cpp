@@ -124,6 +124,24 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name,
+                                          std::uint64_t fallback) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+double MetricsSnapshot::gauge_or(const std::string& name,
+                                 double fallback) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+Histogram::Snapshot MetricsSnapshot::histogram_or(
+    const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? Histogram::Snapshot{} : it->second;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot(std::string_view prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;

@@ -94,6 +94,15 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, Histogram::Snapshot> histograms;
+
+  /// Lenient accessors: a name that was never registered (e.g. a counter
+  /// no request path has touched yet) reads as zero/empty instead of the
+  /// std::out_of_range that map::at would throw. Exports and assertions
+  /// over optional instruments stay one-liners.
+  std::uint64_t counter_or(const std::string& name,
+                           std::uint64_t fallback = 0) const;
+  double gauge_or(const std::string& name, double fallback = 0.0) const;
+  Histogram::Snapshot histogram_or(const std::string& name) const;
 };
 
 class MetricsRegistry {

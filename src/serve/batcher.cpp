@@ -2,8 +2,22 @@
 
 #include "common/error.hpp"
 #include "obs/trace.hpp"
+#include "serve/fault.hpp"
 
 namespace dnnspmv {
+namespace {
+
+/// Fails one request's promise, tolerating an already-satisfied one (the
+/// fulfil/fail race on shutdown paths must never terminate the process).
+void fail_request(PredictRequest& r, const std::exception_ptr& err) {
+  try {
+    r.result.set_exception(err);
+  } catch (const std::future_error&) {
+    // promise already satisfied — nothing to deliver
+  }
+}
+
+}  // namespace
 
 Batcher::Batcher(const FormatSelector& selector, RequestQueue& queue,
                  PredictionCache& cache, ServiceMetrics& metrics,
@@ -25,7 +39,41 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
     if (r.enqueued_at_us >= 0)
       metrics_.record_queue_wait(
           static_cast<double>(popped_us - r.enqueued_at_us) * 1e-6);
+
+  // Deadline enforcement happens here, at dequeue: a request that expired
+  // while queued is failed instead of served — spending a forward pass on
+  // it would only delay the still-live requests behind it. (A request can
+  // still expire *during* the forward; it then gets its answer late. The
+  // dequeue check bounds queue-wait, not compute.) The kWorkerPop fault
+  // site drops requests the same way, with errc::fault_injected.
+  fault::Injector& inj = fault::Injector::global();
+  std::size_t kept = 0;
+  std::uint64_t expired = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PredictRequest& r = batch[i];
+    if (r.deadline_us >= 0 && popped_us > r.deadline_us) {
+      ++expired;
+      fail_request(r, std::make_exception_ptr(DnnspmvError(
+                          errc::deadline_exceeded,
+                          "request expired in queue before a worker "
+                          "could serve it")));
+      continue;
+    }
+    if (inj.enabled() && inj.decide(fault::Site::kWorkerPop).should_drop) {
+      fail_request(r, std::make_exception_ptr(DnnspmvError(
+                          errc::fault_injected,
+                          "injected drop at serve site 'worker_pop'")));
+      continue;
+    }
+    if (kept != i) batch[kept] = std::move(batch[i]);
+    ++kept;
+  }
+  if (expired > 0) metrics_.record_deadline_expired(expired);
+  batch.resize(kept);
+  if (batch.empty()) return;
+
   try {
+    inj.inject(fault::Site::kForward);
     std::vector<std::vector<Tensor>> prepared;
     prepared.reserve(batch.size());
     {
@@ -48,16 +96,10 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
     for (std::size_t i = 0; i < batch.size(); ++i)
       batch[i].result.set_value(picks[i]);
   } catch (...) {
-    // A failed forward fails the whole micro-batch; each waiting client
-    // gets the exception instead of a hang.
+    // A failed forward (real or injected) fails the whole micro-batch;
+    // each waiting client gets the exception instead of a hang.
     const std::exception_ptr err = std::current_exception();
-    for (PredictRequest& r : batch) {
-      try {
-        r.result.set_exception(err);
-      } catch (const std::future_error&) {
-        // promise already satisfied — nothing to deliver
-      }
-    }
+    for (PredictRequest& r : batch) fail_request(r, err);
   }
 }
 
@@ -67,6 +109,7 @@ void Batcher::run() {
   while (true) {
     batch.clear();
     if (queue_.pop_batch(batch, max_batch_) == 0) return;
+    metrics_.record_queue_depth(queue_.approx_size());
     serve_batch(batch, ws);
   }
 }

@@ -12,6 +12,14 @@
 // Inference inside FormatSelector is internally serialized (see
 // selector.hpp), so multiple workers are safe; extra workers overlap their
 // batch-assembly and promise bookkeeping with each other's forwards.
+//
+// Robustness (ISSUE 5): requests whose deadline passed while queued are
+// failed with errc::deadline_exceeded at dequeue rather than served, and
+// the serve/fault.hpp injection sites kWorkerPop (drop) and kForward
+// (delay/throw) are consulted on every batch, so the failure paths are
+// exercised deterministically in tests. Every popped request's promise is
+// satisfied exactly once — value, deadline error, injected error, or
+// forward error — never leaked.
 #pragma once
 
 #include "core/selector.hpp"

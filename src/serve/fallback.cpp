@@ -1,0 +1,84 @@
+#include "serve/fallback.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ml/features.hpp"
+#include "perf/labels.hpp"
+
+namespace dnnspmv {
+
+FallbackSelector::FallbackSelector(std::vector<Format> candidates)
+    : candidates_(std::move(candidates)) {
+  DNNSPMV_CHECK_ERRC(!candidates_.empty(), errc::invalid_argument,
+                     "FallbackSelector needs at least one candidate format");
+}
+
+FallbackSelector FallbackSelector::train(
+    const std::vector<LabeledMatrix>& labeled,
+    const std::vector<Format>& candidates, const DTreeConfig& cfg) {
+  FallbackSelector out(candidates);
+  DNNSPMV_CHECK_ERRC(!labeled.empty(), errc::invalid_argument,
+                     "FallbackSelector::train needs labelled matrices");
+  std::vector<std::vector<double>> x;
+  std::vector<std::int32_t> y;
+  x.reserve(labeled.size());
+  y.reserve(labeled.size());
+  for (const LabeledMatrix& lm : labeled) {
+    x.push_back(extract_features(*lm.matrix));
+    y.push_back(lm.label);
+  }
+  DTreeConfig tree_cfg = cfg;
+  if (tree_cfg.num_classes == 0)
+    tree_cfg.num_classes = static_cast<int>(candidates.size());
+  out.tree_.fit(x, y, tree_cfg);
+  return out;
+}
+
+std::int32_t FallbackSelector::index_or_default(Format f) const {
+  const auto find = [&](Format want) -> std::int32_t {
+    const auto it = std::find(candidates_.begin(), candidates_.end(), want);
+    return it == candidates_.end()
+               ? -1
+               : static_cast<std::int32_t>(it - candidates_.begin());
+  };
+  std::int32_t idx = find(f);
+  if (idx < 0) idx = find(Format::kCsr);
+  return idx < 0 ? 0 : idx;
+}
+
+std::int32_t FallbackSelector::rule_index(const MatrixStats& s) const {
+  // Classic structural folklore, cheapest-to-strongest signal first. The
+  // thresholds are intentionally conservative: when no structure stands
+  // out, CSR is the safe general-purpose answer.
+  if (s.ndiags > 0 && s.ndiags <= 12 && s.dia_fill >= 0.5)
+    return index_or_default(Format::kDia);
+  if (s.row_nnz_cv <= 0.4 && s.ell_fill >= 0.7)
+    return index_or_default(Format::kEll);
+  if (s.max_over_mean >= 10.0) {
+    // Heavy row imbalance: HYB splits the fat rows off when available,
+    // otherwise COO avoids ELL/CSR-style row-parallel imbalance.
+    const std::int32_t hyb = index_or_default(Format::kHyb);
+    if (candidates_[static_cast<std::size_t>(hyb)] == Format::kHyb) return hyb;
+    return index_or_default(Format::kCoo);
+  }
+  return index_or_default(Format::kCsr);
+}
+
+std::int32_t FallbackSelector::predict_index(const MatrixStats& s) const {
+  DNNSPMV_CHECK_ERRC(!candidates_.empty(), errc::not_trained,
+                     "FallbackSelector has no candidates");
+  if (tree_.trained()) {
+    const std::int32_t idx = tree_.predict(extract_features(s));
+    if (idx >= 0 && idx < static_cast<std::int32_t>(candidates_.size()))
+      return idx;
+    // A malformed tree answer degrades once more, to the rule tier.
+  }
+  return rule_index(s);
+}
+
+Format FallbackSelector::predict(const MatrixStats& s) const {
+  return candidates_[static_cast<std::size_t>(predict_index(s))];
+}
+
+}  // namespace dnnspmv

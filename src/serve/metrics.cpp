@@ -40,10 +40,15 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* reg)
       cache_hits_(reg_->counter(prefix_ + "cache_hits")),
       cache_misses_(reg_->counter(prefix_ + "cache_misses")),
       rejected_(reg_->counter(prefix_ + "rejected")),
+      deadline_expired_(reg_->counter(prefix_ + "deadline_expired")),
+      shed_(reg_->counter(prefix_ + "shed")),
+      degraded_(reg_->counter(prefix_ + "degraded")),
+      retries_(reg_->counter(prefix_ + "retries")),
       batches_(reg_->counter(prefix_ + "batches")),
       batched_samples_(reg_->counter(prefix_ + "batched_samples")),
       max_batch_(reg_->gauge(prefix_ + "max_batch")),
       cache_entries_(reg_->gauge(prefix_ + "cache_entries")),
+      queue_depth_(reg_->gauge(prefix_ + "queue_depth")),
       latency_(reg_->histogram(prefix_ + "latency_us")),
       queue_wait_(reg_->histogram(prefix_ + "queue_wait_us")),
       batch_size_(reg_->histogram(prefix_ + "batch_size")) {}
@@ -62,6 +67,10 @@ ServiceStats ServiceMetrics::snapshot(std::uint64_t cache_entries) const {
   s.cache_hits = cache_hits_.value();
   s.cache_misses = cache_misses_.value();
   s.rejected = rejected_.value();
+  s.deadline_expired = deadline_expired_.value();
+  s.shed = shed_.value();
+  s.degraded = degraded_.value();
+  s.retries = retries_.value();
   s.batches = batches_.value();
   s.batched_samples = batched_samples_.value();
   s.max_batch = static_cast<std::uint64_t>(max_batch_.value());

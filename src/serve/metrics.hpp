@@ -32,11 +32,24 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;      // answered from the LRU cache
   std::uint64_t cache_misses = 0;    // went through the batcher
   std::uint64_t rejected = 0;        // failed (queue closed / shutdown)
+  std::uint64_t deadline_expired = 0;  // expired while queued, failed at pop
+  std::uint64_t shed = 0;            // misses shed by admission control
+  std::uint64_t degraded = 0;        // answered by the FallbackSelector
+  std::uint64_t retries = 0;         // backoff retries of full-queue pushes
   std::uint64_t batches = 0;         // forward passes executed
   std::uint64_t batched_samples = 0; // requests summed over those batches
   std::uint64_t max_batch = 0;       // largest coalesced batch seen
   std::uint64_t cache_entries = 0;   // live cache entries at snapshot time
   std::array<std::uint64_t, kLatencyBuckets> latency{};  // bucket counts
+
+  /// Fraction of requests that received a prediction (from the cache, the
+  /// CNN, or the degraded path) rather than a deadline failure. Rejected
+  /// requests never make it into `requests`, so they are not counted here.
+  double availability() const {
+    return requests == 0 ? 1.0
+                         : static_cast<double>(requests - deadline_expired) /
+                               static_cast<double>(requests);
+  }
 
   double hit_rate() const {
     const std::uint64_t seen = cache_hits + cache_misses;
@@ -75,6 +88,19 @@ class ServiceMetrics {
     cache_misses_.inc();
   }
   void record_rejected() { rejected_.inc(); }
+  void record_deadline_expired(std::uint64_t n = 1) {
+    deadline_expired_.inc(n);
+  }
+  /// A miss answered by the fallback; `by_watermark` marks admission-
+  /// control sheds (vs. degraded answers after a full-queue retry budget).
+  void record_degraded(bool by_watermark) {
+    degraded_.inc();
+    if (by_watermark) shed_.inc();
+  }
+  void record_retry() { retries_.inc(); }
+  void record_queue_depth(std::size_t depth) {
+    queue_depth_.set(static_cast<double>(depth));
+  }
 
   void record_batch(std::size_t batch_size);
   void record_latency(double seconds) { latency_.observe_seconds(seconds); }
@@ -99,10 +125,15 @@ class ServiceMetrics {
   obs::Counter& cache_hits_;
   obs::Counter& cache_misses_;
   obs::Counter& rejected_;
+  obs::Counter& deadline_expired_;
+  obs::Counter& shed_;
+  obs::Counter& degraded_;
+  obs::Counter& retries_;
   obs::Counter& batches_;
   obs::Counter& batched_samples_;
   obs::Gauge& max_batch_;
   obs::Gauge& cache_entries_;
+  obs::Gauge& queue_depth_;
   obs::Histogram& latency_;
   obs::Histogram& queue_wait_;
   obs::Histogram& batch_size_;

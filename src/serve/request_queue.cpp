@@ -15,9 +15,22 @@ bool RequestQueue::push(PredictRequest&& r) {
   not_full_.wait(lock, [this] { return closed_ || q_.size() < capacity_; });
   if (closed_) return false;
   q_.push_back(std::move(r));
+  approx_size_.store(q_.size(), std::memory_order_relaxed);
   lock.unlock();
   not_empty_.notify_one();
   return true;
+}
+
+PushResult RequestQueue::try_push(PredictRequest&& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (q_.size() >= capacity_) return PushResult::kFull;
+    q_.push_back(std::move(r));
+    approx_size_.store(q_.size(), std::memory_order_relaxed);
+  }
+  not_empty_.notify_one();
+  return PushResult::kOk;
 }
 
 std::size_t RequestQueue::pop_batch(std::vector<PredictRequest>& out,
@@ -30,6 +43,7 @@ std::size_t RequestQueue::pop_batch(std::vector<PredictRequest>& out,
     out.push_back(std::move(q_.front()));
     q_.pop_front();
   }
+  approx_size_.store(q_.size(), std::memory_order_relaxed);
   lock.unlock();
   if (n > 0) not_full_.notify_all();
   return n;

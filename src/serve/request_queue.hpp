@@ -6,12 +6,16 @@
 // into inference batches: under load a worker drains a full micro-batch per
 // wakeup, when idle it serves singles at minimum latency.
 //
-// push() blocks while the queue is full (backpressure, bounded memory).
-// close() initiates shutdown: subsequent pushes fail fast, poppers drain
-// whatever is queued and then get 0. In-flight requests are therefore
-// always answered, never dropped.
+// push() blocks while the queue is full (backpressure, bounded memory);
+// try_push() reports kFull instead of blocking, which is what the service's
+// bounded-retry/load-shedding admission control is built on. close()
+// initiates shutdown: subsequent pushes fail fast, poppers drain whatever
+// is queued and then get 0. In-flight requests are therefore always
+// answered, never dropped — though requests whose deadline passed while
+// queued are failed (not served) when a worker pops them.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -33,7 +37,13 @@ struct PredictRequest {
   std::vector<Tensor> inputs;
   std::promise<std::int32_t> result;
   std::int64_t enqueued_at_us = -1;
+  // Absolute expiry in the obs::now_us timebase; -1 = no deadline. Workers
+  // fail expired requests with errc::deadline_exceeded at dequeue instead
+  // of spending a forward pass on an answer nobody is waiting for.
+  std::int64_t deadline_us = -1;
 };
+
+enum class PushResult { kOk, kFull, kClosed };
 
 class RequestQueue {
  public:
@@ -41,6 +51,10 @@ class RequestQueue {
 
   /// Blocks while full. Returns false (without enqueueing) once closed.
   bool push(PredictRequest&& r);
+
+  /// Non-blocking push. On kFull/kClosed `r` is left intact (not moved
+  /// from), so the caller can retry, shed, or fail it.
+  PushResult try_push(PredictRequest&& r);
 
   /// Pops 1..max_batch requests into `out` (appended). Blocks until at
   /// least one request is available or the queue is closed and drained;
@@ -53,6 +67,13 @@ class RequestQueue {
 
   bool closed() const;
   std::size_t size() const;
+  /// Lock-free occupancy mirror (updated under the lock, read relaxed) —
+  /// what the service's admission control and queue-depth gauge poll on
+  /// every miss without touching the queue mutex. May lag size() by an
+  /// in-flight push/pop; admission decisions tolerate that slack.
+  std::size_t approx_size() const {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
   std::size_t capacity() const { return capacity_; }
 
  private:
@@ -60,6 +81,7 @@ class RequestQueue {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<PredictRequest> q_;
+  std::atomic<std::size_t> approx_size_{0};
   std::size_t capacity_;
   bool closed_ = false;
 };

@@ -1,16 +1,42 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
+#include "serve/fault.hpp"
 #include "serve/fingerprint.hpp"
 
 namespace dnnspmv {
+namespace {
+
+std::size_t shed_threshold_for(const ServiceOptions& opts) {
+  if (opts.shed_watermark > 1.0) return SIZE_MAX;  // shedding disabled
+  const auto t = static_cast<std::size_t>(
+      opts.shed_watermark * static_cast<double>(opts.queue_capacity));
+  return std::max<std::size_t>(1, t);
+}
+
+FallbackSelector make_fallback(const FormatSelector& selector,
+                               const ServiceOptions& opts) {
+  if (!opts.fallback) return FallbackSelector(selector.candidates());
+  DNNSPMV_CHECK_ERRC(opts.fallback->candidates() == selector.candidates(),
+                     errc::invalid_argument,
+                     "ServiceOptions::fallback was built for a different "
+                     "candidate list than the FormatSelector's");
+  return *opts.fallback;
+}
+
+}  // namespace
 
 SelectionService::SelectionService(const FormatSelector& selector,
                                    ServiceOptions opts)
     : selector_(selector),
       opts_(opts),
+      fallback_(make_fallback(selector, opts)),
+      shed_threshold_(shed_threshold_for(opts)),
       cache_(opts.cache_capacity, opts.cache_shards),
       queue_(opts.queue_capacity),
       batcher_(selector_, queue_, cache_, metrics_, opts.max_batch) {
@@ -18,6 +44,12 @@ SelectionService::SelectionService(const FormatSelector& selector,
                      "SelectionService needs a trained FormatSelector");
   DNNSPMV_CHECK_ERRC(opts.num_workers > 0, errc::invalid_argument,
                      "need at least one worker");
+  DNNSPMV_CHECK_ERRC(opts.shed_watermark > 0.0, errc::invalid_argument,
+                     "shed_watermark must be positive (use > 1 to disable)");
+  DNNSPMV_CHECK_ERRC(opts.push_retries >= 0, errc::invalid_argument,
+                     "push_retries must be non-negative");
+  DNNSPMV_CHECK_ERRC(opts.push_backoff_us >= 0, errc::invalid_argument,
+                     "push_backoff_us must be non-negative");
   workers_.reserve(static_cast<std::size_t>(opts.num_workers));
   for (int i = 0; i < opts.num_workers; ++i)
     workers_.emplace_back([this] { batcher_.run(); });
@@ -32,11 +64,28 @@ void SelectionService::shutdown() {
   workers_.clear();
 }
 
-std::future<std::int32_t> SelectionService::submit(const Csr& a) {
+std::future<std::int32_t> SelectionService::answer_degraded(
+    const MatrixStats& st, bool by_watermark) {
+  obs::Span span("serve.degraded");
+  // Degraded answers are deliberately NOT cached: the fallback's pick may
+  // differ from the CNN's, and a cached heuristic answer would keep being
+  // served after the overload has passed. Repeats of the same matrix under
+  // sustained overload re-run the fallback, which is O(#features).
+  const std::int32_t idx = fallback_.predict_index(st);
+  metrics_.record_degraded(by_watermark);
+  std::promise<std::int32_t> ready;
+  ready.set_value(idx);
+  return ready.get_future();
+}
+
+std::future<std::int32_t> SelectionService::submit(
+    const Csr& a, std::optional<std::chrono::microseconds> deadline) {
+  MatrixStats st;
   std::uint64_t fp = 0;
   {
     obs::Span span("serve.fingerprint");
-    fp = structural_fingerprint(a);
+    st = compute_stats(a);
+    fp = structural_fingerprint(st);
   }
 
   {
@@ -51,6 +100,11 @@ std::future<std::int32_t> SelectionService::submit(const Csr& a) {
   }
   metrics_.record_miss();
 
+  // Admission control: above the watermark a miss is shed to the degraded
+  // path *before* the expensive representation build — under overload the
+  // whole submit stays O(nnz) (the stats pass it already paid).
+  if (queue_.approx_size() >= shed_threshold_) return answer_degraded(st, true);
+
   PredictRequest req;
   req.fingerprint = fp;
   {
@@ -59,28 +113,51 @@ std::future<std::int32_t> SelectionService::submit(const Csr& a) {
   }
   std::future<std::int32_t> fut = req.result.get_future();
   req.enqueued_at_us = obs::now_us();
-  if (!queue_.push(std::move(req))) {
-    metrics_.record_rejected();
-    std::promise<std::int32_t> failed;
-    failed.set_exception(std::make_exception_ptr(DnnspmvError(
-        errc::service_shutdown,
-        "SelectionService is shut down; request rejected")));
-    return failed.get_future();
+  if (deadline) req.deadline_us = req.enqueued_at_us + deadline->count();
+
+  fault::Injector& inj = fault::Injector::global();
+  std::int64_t backoff_us = opts_.push_backoff_us;
+  for (int attempt = 0;; ++attempt) {
+    PushResult pr;
+    if (inj.enabled() && inj.inject(fault::Site::kQueuePush))
+      pr = PushResult::kFull;  // injected transient full-queue
+    else
+      pr = queue_.try_push(std::move(req));
+    if (pr == PushResult::kOk) {
+      metrics_.record_queue_depth(queue_.approx_size());
+      return fut;
+    }
+    if (pr == PushResult::kClosed) {
+      metrics_.record_rejected();
+      std::promise<std::int32_t> failed;
+      failed.set_exception(std::make_exception_ptr(DnnspmvError(
+          errc::service_shutdown,
+          "SelectionService is shut down; request rejected")));
+      return failed.get_future();
+    }
+    // Transiently full: bounded retry with doubling backoff, then shed.
+    if (attempt >= opts_.push_retries) break;
+    metrics_.record_retry();
+    if (backoff_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us *= 2;
   }
-  return fut;
+  return answer_degraded(st, false);
 }
 
-std::int32_t SelectionService::predict_index(const Csr& a) {
+std::int32_t SelectionService::predict_index(
+    const Csr& a, std::optional<std::chrono::microseconds> deadline) {
   obs::Span span("serve.predict");
   Timer timer;
-  std::future<std::int32_t> fut = submit(a);
+  std::future<std::int32_t> fut = submit(a, deadline);
   const std::int32_t idx = fut.get();
   metrics_.record_latency(timer.seconds());
   return idx;
 }
 
-Format SelectionService::predict(const Csr& a) {
-  return candidates()[static_cast<std::size_t>(predict_index(a))];
+Format SelectionService::predict(
+    const Csr& a, std::optional<std::chrono::microseconds> deadline) {
+  return candidates()[static_cast<std::size_t>(predict_index(a, deadline))];
 }
 
 ServiceStats SelectionService::snapshot() const {

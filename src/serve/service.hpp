@@ -8,8 +8,13 @@
 //   fingerprint(matrix)
 //   cache lookup ── hit ─→ answer
 //        │ miss
+//   admission ── shed ─→ degraded answer (FallbackSelector, no queue)
+//        │ admit
 //   build CNN inputs
 //   push PredictRequest ─→ [bounded MPMC queue] ─→ pop ≤ max_batch
+//   (bounded retry+backoff      │                  drop expired requests
+//    when transiently full;     │                  (deadline_exceeded)
+//    degraded after budget)     ↓
 //   wait on future                       one batched forward pass
 //        ↑                               fulfill promises, fill cache,
 //        └───────────── answer ──────────record metrics
@@ -20,6 +25,31 @@
 // micro-batches. Repeated matrices are answered from the sharded LRU cache
 // without touching the queue at all.
 //
+// Robustness (the "predictable when unhealthy" layer):
+//   * Deadlines — submit() takes an optional per-request deadline. A
+//     request that expires while queued is failed with
+//     errc::deadline_exceeded at dequeue instead of being served; cache
+//     hits and degraded answers are immediate and never expire.
+//   * Load shedding — when queue occupancy crosses
+//     shed_watermark × queue_capacity, new misses skip representation
+//     building and the CNN entirely and are answered by the
+//     FallbackSelector (a stats-features heuristic / decision tree, see
+//     serve/fallback.hpp). Clients get a slightly weaker prediction now
+//     instead of blocking; the `degraded`/`shed` counters record it.
+//   * Bounded retry — a transiently full queue is retried push_retries
+//     times with doubling backoff (push_backoff_us base); if the queue is
+//     still full the request degrades rather than blocks.
+//   * Fault injection — serve/fault.hpp sites are consulted on the push
+//     and worker paths, so all of the above is deterministically testable.
+//     (An injected *throw* at kQueuePush propagates to the submitter.)
+//
+// Failure semantics per request: exactly one of
+//   value            — cache hit, CNN answer, or degraded (fallback) answer
+//   deadline_exceeded— expired while queued
+//   service_shutdown — submitted after shutdown()
+//   fault_injected   — failed by an armed fault-injection site
+//   (other)          — a real forward-pass failure, forwarded verbatim
+//
 // Thread safety: predict()/predict_index()/submit()/snapshot() may be
 // called concurrently from any number of threads. shutdown() (or
 // destruction) drains in-flight requests before returning; requests that
@@ -27,18 +57,22 @@
 //
 // Observability: every stage is instrumented through src/obs — counters
 // and latency/queue-wait/batch-size histograms in the metrics registry
-// under this service's prefix (see metrics()), and, when obs::set_enabled
-// is on, trace spans for fingerprint / cache probe / representation
-// building / forward / fulfill that export to chrome://tracing.
+// under this service's prefix (see metrics()), including the robustness
+// counters (deadline_expired, shed, degraded, retries, queue_depth), and,
+// when obs::set_enabled is on, trace spans for fingerprint / cache probe /
+// representation building / degraded answers / forward / fulfill.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "core/selector.hpp"
 #include "serve/batcher.hpp"
+#include "serve/fallback.hpp"
 
 namespace dnnspmv {
 
@@ -48,6 +82,20 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;
+
+  // Robustness knobs. shed_watermark is a fraction of queue_capacity:
+  // misses arriving above it are answered degraded instead of queued
+  // (> 1.0 disables admission-control shedding; a full queue still
+  // degrades after the retry budget). push_retries/push_backoff_us bound
+  // how long a submitter courts a transiently full queue: attempt, sleep
+  // backoff, double it, at most push_retries times.
+  double shed_watermark = 0.9;
+  int push_retries = 3;
+  std::int64_t push_backoff_us = 50;
+  // Degraded-path selector; unset → rule-tier fallback over the
+  // selector's candidates. A trained one (FallbackSelector::train) must
+  // use the same candidate list as the FormatSelector.
+  std::optional<FallbackSelector> fallback;
 };
 
 class SelectionService {
@@ -61,14 +109,24 @@ class SelectionService {
   SelectionService& operator=(const SelectionService&) = delete;
 
   /// Blocking predict; the end-to-end latency lands in the histogram.
-  Format predict(const Csr& a);
-  std::int32_t predict_index(const Csr& a);
+  /// With a deadline, throws DnnspmvError(errc::deadline_exceeded) if the
+  /// request expired queued (see class comment for the full semantics).
+  Format predict(const Csr& a,
+                 std::optional<std::chrono::microseconds> deadline =
+                     std::nullopt);
+  std::int32_t predict_index(const Csr& a,
+                             std::optional<std::chrono::microseconds>
+                                 deadline = std::nullopt);
 
-  /// Fire-and-wait-later: a cache hit yields an already-ready future, a
-  /// miss enqueues. The request carries the matrix's CNN representations
-  /// (built here, in the calling thread), so the caller may drop `a` as
-  /// soon as submit returns.
-  std::future<std::int32_t> submit(const Csr& a);
+  /// Fire-and-wait-later: a cache hit or degraded answer yields an
+  /// already-ready future, a miss enqueues. The request carries the
+  /// matrix's CNN representations (built here, in the calling thread), so
+  /// the caller may drop `a` as soon as submit returns. `deadline` is
+  /// relative to now; expired requests fail at dequeue with
+  /// errc::deadline_exceeded.
+  std::future<std::int32_t> submit(const Csr& a,
+                                   std::optional<std::chrono::microseconds>
+                                       deadline = std::nullopt);
 
   /// Closes the queue, drains in-flight requests, joins workers.
   /// Idempotent; also called by the destructor.
@@ -82,14 +140,23 @@ class SelectionService {
   /// alongside whatever else the process reports.
   const ServiceMetrics& metrics() const { return metrics_; }
 
+  /// The degraded-path selector answering shed requests.
+  const FallbackSelector& fallback() const { return fallback_; }
+
   const std::vector<Format>& candidates() const {
     return selector_.candidates();
   }
   const ServiceOptions& options() const { return opts_; }
 
  private:
+  /// Immediate fallback answer for a shed miss (stats already computed).
+  std::future<std::int32_t> answer_degraded(const MatrixStats& st,
+                                            bool by_watermark);
+
   const FormatSelector& selector_;
   ServiceOptions opts_;
+  FallbackSelector fallback_;
+  std::size_t shed_threshold_;  // queue occupancy that triggers shedding
   PredictionCache cache_;
   RequestQueue queue_;
   ServiceMetrics metrics_;
