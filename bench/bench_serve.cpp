@@ -18,6 +18,9 @@
 //   --threads <t>   comma list of client-thread counts    (default 1,2,4,8)
 //   --batch <b>     comma list of max_batch values        (default 1,8,32)
 //   --overload <0|1>  run the overload scenario            (default 1)
+//   --replicas <r>  comma list of ReplicaRouter sizes for the scaling
+//                   sweep (default 1,2,4,8; 0 disables the sweep)
+//   --straggler <0|1>  run the straggler/hedging scenario  (default 1)
 //   --json <path>   machine-readable results              (default BENCH_serve.json)
 //   --trace <path>  chrome://tracing dump of the traced run (default: off)
 //
@@ -33,6 +36,19 @@
 // never a timeout or a hang), no client waits past its deadline, and the
 // shed/degraded work is visible in the metrics. Gated in BENCH_serve.json
 // as accept_overload_availability.
+//
+// Scaling sweep (ISSUE 6): a ReplicaRouter at 1→2→4→8 replicas serving an
+// all-miss workload (every request a distinct matrix, hedging off), so
+// throughput tracks the number of independent inference lanes. Gated as
+// accept_scaling_2_5x — ≥ 2.5× at 4 replicas, applied only on hosts with
+// at least 8 hardware threads (a single-core runner records the sweep but
+// cannot exhibit parallel speedup; the JSON carries scaling_gate_applied).
+//
+// Straggler scenario (ISSUE 6): two replicas, replica 0 handed a private
+// armed injector that drags every CNN forward by 5 ms. With hedging the
+// router re-dispatches slow requests to the healthy sibling, so tail
+// latency must drop vs. the same router with hedging off while
+// availability holds at 100%. Gated as accept_straggler_p99.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -45,6 +61,7 @@
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "serve/fault.hpp"
+#include "serve/router.hpp"
 #include "serve/service.hpp"
 
 namespace dnnspmv::bench {
@@ -222,6 +239,95 @@ OverloadResult run_overload(const FormatSelector& sel,
   return r;
 }
 
+struct ScalingRun {
+  double req_s = 0.0;
+  RouterStats stats;
+};
+
+// All-miss closed-loop workload through a ReplicaRouter: every request is
+// a distinct matrix, hedging is off, shedding is disabled, each replica
+// runs one worker — throughput measures parallel inference lanes, nothing
+// else.
+ScalingRun run_scaling(const FormatSelector& sel,
+                       const std::vector<CorpusEntry>& corpus, int replicas) {
+  RouterOptions opts;
+  opts.replicas = replicas;
+  opts.hedge = false;
+  opts.service.num_workers = 1;
+  opts.service.queue_capacity = 512;
+  opts.service.shed_watermark = 2.0;  // never shed: measure inference
+  ReplicaRouter router(sel, opts);
+
+  const int clients = std::max(2, 2 * replicas);
+  std::atomic<std::size_t> next{0};
+  Timer t;
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= corpus.size()) return;
+        (void)router.predict_index(corpus[i].matrix);
+      }
+    });
+  }
+  for (auto& c : pool) c.join();
+  ScalingRun r;
+  r.req_s = static_cast<double>(corpus.size()) / t.seconds();
+  router.shutdown();
+  r.stats = router.snapshot();
+  return r;
+}
+
+struct StragglerRun {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  RouterStats stats;
+};
+
+// Two replicas, replica 0 scripted slow (every forward +5 ms via a private
+// injector), all-miss sequential workload. With hedging on, keys whose
+// primary is the straggler get re-dispatched to the healthy sibling after
+// the fixed budget; with it off they wait out the full delay.
+StragglerRun run_straggler(const FormatSelector& sel,
+                           const std::vector<CorpusEntry>& corpus,
+                           std::size_t requests, bool hedge) {
+  fault::Injector straggler;
+  fault::Plan slow;
+  slow.delay_prob = 1.0;
+  slow.delay_us = 5'000;
+  straggler.configure(fault::Site::kForward, slow);
+
+  RouterOptions opts;
+  opts.replicas = 2;
+  opts.hedge = hedge;
+  opts.hedge_fixed_us = 1'000;
+  opts.service.num_workers = 1;
+  opts.service.shed_watermark = 2.0;
+  opts.injectors = {&straggler, nullptr};
+  ReplicaRouter router(sel, opts);
+
+  requests = std::min(requests, corpus.size());
+  std::vector<double> lat_us;
+  lat_us.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    Timer t;
+    (void)router.predict_index(corpus[i].matrix);
+    lat_us.push_back(t.seconds() * 1e6);
+  }
+  router.shutdown();
+  StragglerRun r;
+  r.stats = router.snapshot();
+  std::sort(lat_us.begin(), lat_us.end());
+  const auto at = [&](double q) {
+    return lat_us[static_cast<std::size_t>(
+        q * static_cast<double>(lat_us.size() - 1))];
+  };
+  r.p50_us = at(0.50);
+  r.p99_us = at(0.99);
+  return r;
+}
+
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchConfig cfg = parse_common(cli);
@@ -235,6 +341,10 @@ int run(int argc, char** argv) {
   const std::vector<int> batches =
       parse_int_list(cli.get_string("batch", "1,8,32"));
   const bool overload = cli.get_int("overload", 1) != 0;
+  const std::string replicas_arg = cli.get_string("replicas", "1,2,4,8");
+  const std::vector<int> replica_counts =
+      replicas_arg == "0" ? std::vector<int>{} : parse_int_list(replicas_arg);
+  const bool straggler = cli.get_int("straggler", 1) != 0;
   const std::string json_path = cli.get_string("json", "BENCH_serve.json");
   const std::string trace_path = cli.get_string("trace", "");
   cli.check_unused();
@@ -378,20 +488,93 @@ int run(int argc, char** argv) {
     json.field("max_ms", o.max_ms);
     json.end_object();
   }
+  // Scaling sweep: router throughput per replica count on the all-miss
+  // workload. The 2.5× gate only binds on hosts that can actually run 4
+  // replicas' lanes in parallel.
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const bool scaling_gate_applied = hw_threads >= 8;
+  bool met_scaling = true;
+  if (!replica_counts.empty()) {
+    std::printf("\nscaling sweep (all-miss, hedging off, %u hw threads):\n",
+                hw_threads);
+    std::printf("%9s %12s %9s\n", "replicas", "req/s", "speedup");
+    json.begin_array("scaling");
+    double base_req_s = 0.0;
+    for (int r : replica_counts) {
+      const ScalingRun sr = run_scaling(sel, lc.corpus, r);
+      if (base_req_s == 0.0) base_req_s = sr.req_s;
+      const double speedup = sr.req_s / base_req_s;
+      std::printf("%9d %12.0f %8.2fx\n", r, sr.req_s, speedup);
+      if (scaling_gate_applied && r == 4) met_scaling = speedup >= 2.5;
+      json.begin_object();
+      json.field("replicas", r);
+      json.field("req_s", sr.req_s);
+      json.field("speedup_vs_1", speedup);
+      json.field("availability", sr.stats.availability());
+      json.field("fp_reused",
+                 static_cast<std::int64_t>(sr.stats.total_fp_reused()));
+      json.end_object();
+    }
+    json.end_array();
+    json.field("hw_threads", static_cast<std::int64_t>(hw_threads));
+    json.field("scaling_gate_applied", scaling_gate_applied);
+  }
+
+  // Straggler scenario: hedging must beat the same router with hedging
+  // off on tail latency, at full availability, while one replica drags.
+  bool met_straggler = true;
+  if (straggler) {
+    const std::size_t n_straggler = std::min<std::size_t>(64, lc.corpus.size());
+    const StragglerRun on = run_straggler(sel, lc.corpus, n_straggler, true);
+    const StragglerRun off = run_straggler(sel, lc.corpus, n_straggler, false);
+    met_straggler = on.p99_us < off.p99_us &&
+                    on.stats.availability() >= 1.0 &&
+                    off.stats.availability() >= 1.0 && on.stats.hedge_won > 0;
+    std::printf("\nstraggler (2 replicas, replica 0 +5ms/forward): "
+                "hedged p50 %.0fus p99 %.0fus (hedges=%llu won=%llu) | "
+                "unhedged p50 %.0fus p99 %.0fus\n",
+                on.p50_us, on.p99_us,
+                static_cast<unsigned long long>(on.stats.hedges),
+                static_cast<unsigned long long>(on.stats.hedge_won),
+                off.p50_us, off.p99_us);
+    json.begin_object("straggler");
+    json.field("requests", static_cast<std::int64_t>(n_straggler));
+    json.field("hedged_p50_us", on.p50_us);
+    json.field("hedged_p99_us", on.p99_us);
+    json.field("unhedged_p50_us", off.p50_us);
+    json.field("unhedged_p99_us", off.p99_us);
+    json.field("hedges", static_cast<std::int64_t>(on.stats.hedges));
+    json.field("hedge_won", static_cast<std::int64_t>(on.stats.hedge_won));
+    json.field("misrouted", static_cast<std::int64_t>(on.stats.misrouted));
+    json.field("availability", on.stats.availability());
+    json.end_object();
+  }
+
   json.field("accept_throughput_3x", met_throughput);
   json.field("accept_hit_rate_90", met_hits);
   json.field("accept_trace_overhead_5pct", met_overhead);
   json.field("accept_overload_availability", met_overload);
+  json.field("accept_scaling_2_5x", met_scaling);
+  json.field("accept_straggler_p99", met_straggler);
   json.end_object();
   if (json.write_file(json_path))
     std::printf("wrote %s\n", json_path.c_str());
 
   std::printf("\nacceptance: throughput >= 3x baseline: %s; "
               "hit rate >= 90%%: %s; tracing overhead < 5%%: %s; "
-              "overload availability 100%%: %s\n",
+              "overload availability 100%%: %s; "
+              "scaling >= 2.5x @4 replicas: %s; straggler p99 win: %s\n",
               met_throughput ? "PASS" : "FAIL", met_hits ? "PASS" : "FAIL",
-              met_overhead ? "PASS" : "FAIL", met_overload ? "PASS" : "FAIL");
-  return met_throughput && met_hits && met_overhead && met_overload ? 0 : 1;
+              met_overhead ? "PASS" : "FAIL", met_overload ? "PASS" : "FAIL",
+              replica_counts.empty()
+                  ? "SKIP"
+                  : (scaling_gate_applied ? (met_scaling ? "PASS" : "FAIL")
+                                          : "SKIP (few cores)"),
+              straggler ? (met_straggler ? "PASS" : "FAIL") : "SKIP");
+  return met_throughput && met_hits && met_overhead && met_overload &&
+                 met_scaling && met_straggler
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -1,7 +1,14 @@
-// Serving demo: train a selector, stand up a SelectionService, and hit it
-// from several client threads — then read the metrics block.
+// Serving demo: train a selector, stand up a SelectionService — or, with
+// --replicas N, a sharded ReplicaRouter — and hit it from several client
+// threads, then read the metrics block.
 //
-//   ./serve_demo [--clients 4] [--requests 400] [--trace trace.json]
+//   ./serve_demo [--clients 4] [--requests 400] [--replicas 0]
+//                [--trace trace.json]
+//
+// --replicas 0 (default) serves through a single SelectionService; N >= 1
+// builds a ReplicaRouter with N replicas (consistent-hash sharding, NUMA-
+// aware worker pinning, hedged re-dispatch) and reports per-replica
+// hit-rate/depth plus the router's hedge counters at exit.
 //
 // With --trace, span tracing is enabled for the serving phase and a
 // chrome://tracing / Perfetto-loadable dump of every request's pipeline
@@ -14,6 +21,7 @@
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "perf/labels.hpp"
+#include "serve/router.hpp"
 #include "serve/service.hpp"
 
 using namespace dnnspmv;
@@ -23,6 +31,7 @@ int main(int argc, char** argv) {
   const int clients = static_cast<int>(cli.get_int("clients", 4));
   const auto requests =
       static_cast<std::size_t>(cli.get_int("requests", 400));
+  const int replicas = static_cast<int>(cli.get_int("replicas", 0));
   const std::string trace_path = cli.get_string("trace", "");
   cli.check_unused();
 
@@ -44,12 +53,33 @@ int main(int argc, char** argv) {
   selector.fit(labeled, platform->formats());
 
   // 2. The serving layer: sharded LRU cache in front, micro-batching
-  //    workers behind a bounded queue.
+  //    workers behind a bounded queue — one service, or a router fanning
+  //    the keyspace over N replicas of that whole stack.
   ServiceOptions opts;
   opts.num_workers = 2;
   opts.max_batch = 16;
   opts.cache_capacity = 1024;
-  SelectionService service(selector, opts);
+  std::unique_ptr<SelectionService> service;
+  std::unique_ptr<ReplicaRouter> router;
+  if (replicas > 0) {
+    RouterOptions ropts;
+    ropts.replicas = replicas;
+    ropts.service = opts;
+    router = std::make_unique<ReplicaRouter>(selector, ropts);
+    std::printf("router: %d replicas, hedge budget %lld us", replicas,
+                static_cast<long long>(router->hedge_budget_us()));
+    for (std::size_t r = 0; r < router->placement().size(); ++r) {
+      const auto& g = router->placement()[r];
+      std::printf("%s replica %zu -> node %d (%zu cpus)", r == 0 ? ";" : ",",
+                  r, g.node, g.cpus.size());
+    }
+    std::printf("\n");
+  } else {
+    service = std::make_unique<SelectionService>(selector, opts);
+  }
+  auto predict = [&](const Csr& m) {
+    return router ? router->predict(m) : service->predict(m);
+  };
 
   // 3. Concurrent clients, each re-querying a shared matrix pool — the
   //    repeated-structure traffic a solver fleet generates.
@@ -63,7 +93,7 @@ int main(int argc, char** argv) {
         const auto& m =
             corpus[(static_cast<std::size_t>(c) * 31 + i) % corpus.size()]
                 .matrix;
-        const Format f = service.predict(m);
+        const Format f = predict(m);
         if (i == 0)
           std::printf("  client %d: first pick = %s\n", c,
                       format_name(f).c_str());
@@ -73,20 +103,45 @@ int main(int argc, char** argv) {
   for (auto& w : workers) w.join();
 
   // 4. What the metrics block saw.
-  const ServiceStats s = service.snapshot();
-  std::printf("\n-- service stats --\n");
-  std::printf("requests      %llu\n",
-              static_cast<unsigned long long>(s.requests));
-  std::printf("cache hits    %llu (%.1f%%)\n",
-              static_cast<unsigned long long>(s.cache_hits),
-              100.0 * s.hit_rate());
-  std::printf("batches       %llu (mean size %.2f, max %llu)\n",
-              static_cast<unsigned long long>(s.batches), s.mean_batch(),
-              static_cast<unsigned long long>(s.max_batch));
-  std::printf("latency p50   %.0f us\n", 1e6 * s.latency_quantile(0.5));
-  std::printf("latency p95   %.0f us\n", 1e6 * s.latency_quantile(0.95));
-  std::printf("cache entries %llu\n",
-              static_cast<unsigned long long>(s.cache_entries));
+  if (router) {
+    const RouterStats rs = router->snapshot();
+    std::printf("\n-- router stats --\n");
+    std::printf("requests      %llu\n",
+                static_cast<unsigned long long>(rs.requests));
+    std::printf("hit rate      %.1f%% (over all replicas)\n",
+                100.0 * rs.hit_rate());
+    std::printf("hedges        %llu issued, %llu won, %llu misrouted\n",
+                static_cast<unsigned long long>(rs.hedges),
+                static_cast<unsigned long long>(rs.hedge_won),
+                static_cast<unsigned long long>(rs.misrouted));
+    std::printf("hedge budget  %lld us\n",
+                static_cast<long long>(rs.hedge_budget_us));
+    std::printf("availability  %.1f%%\n", 100.0 * rs.availability());
+    for (std::size_t r = 0; r < rs.replica.size(); ++r) {
+      const ServiceStats& s = rs.replica[r];
+      std::printf("  replica %zu: %llu requests, %.1f%% hits, "
+                  "%llu degraded, depth %zu\n",
+                  r, static_cast<unsigned long long>(s.requests),
+                  100.0 * s.hit_rate(),
+                  static_cast<unsigned long long>(s.degraded),
+                  router->replica(r).queue_depth());
+    }
+  } else {
+    const ServiceStats s = service->snapshot();
+    std::printf("\n-- service stats --\n");
+    std::printf("requests      %llu\n",
+                static_cast<unsigned long long>(s.requests));
+    std::printf("cache hits    %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(s.cache_hits),
+                100.0 * s.hit_rate());
+    std::printf("batches       %llu (mean size %.2f, max %llu)\n",
+                static_cast<unsigned long long>(s.batches), s.mean_batch(),
+                static_cast<unsigned long long>(s.max_batch));
+    std::printf("latency p50   %.0f us\n", 1e6 * s.latency_quantile(0.5));
+    std::printf("latency p95   %.0f us\n", 1e6 * s.latency_quantile(0.95));
+    std::printf("cache entries %llu\n",
+                static_cast<unsigned long long>(s.cache_entries));
+  }
 
   // 5. Optional observability dump: the spans as a chrome://tracing
   //    timeline, and the full registry (this service + nn + spmv) as JSON.

@@ -128,6 +128,15 @@ MergeNet& FormatSelector::net() {
   return *net_;
 }
 
+FormatSelector FormatSelector::clone() const {
+  DNNSPMV_CHECK_MSG(net_, "clone of an untrained FormatSelector");
+  FormatSelector out(opts_);
+  out.candidates_ = candidates_;
+  out.net_ = std::make_unique<MergeNet>(build_cnn(out.make_spec()));
+  copy_params(const_cast<MergeNet&>(*net_).params(), out.net_->params());
+  return out;
+}
+
 FormatSelector FormatSelector::migrate(MigrationMethod method,
                                        const Dataset& target_train,
                                        const TrainConfig& cfg) const {

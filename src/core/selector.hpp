@@ -96,6 +96,13 @@ class FormatSelector {
   bool trained() const { return net_ != nullptr; }
   MergeNet& net();
 
+  /// Deep copy of a trained selector: a fresh MergeNet with identical
+  /// architecture and weights and its own inference mutex. Because forward
+  /// passes are serialized per selector, N clones give N independent
+  /// inference lanes — the per-replica model copies of serve's
+  /// ReplicaRouter. O(#params); no retraining.
+  FormatSelector clone() const;
+
   /// Migrates this selector's model to a new platform's labels.
   FormatSelector migrate(MigrationMethod method, const Dataset& target_train,
                          const TrainConfig& cfg) const;

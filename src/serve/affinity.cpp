@@ -1,0 +1,149 @@
+#include "serve/affinity.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dnnspmv::affinity {
+namespace {
+
+/// CPUs the process is allowed to run on (taskset/cgroup mask). Empty when
+/// the mask cannot be read — callers then trust sysfs alone.
+std::set<int> allowed_cpus() {
+  std::set<int> out;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+      if (CPU_ISSET(cpu, &mask)) out.insert(cpu);
+  }
+#endif
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t end = list.find(',', pos);
+    if (end == std::string::npos) end = list.size();
+    const std::string chunk = list.substr(pos, end - pos);
+    pos = end + 1;
+    if (chunk.empty()) continue;
+    char* after = nullptr;
+    const long lo = std::strtol(chunk.c_str(), &after, 10);
+    if (after == chunk.c_str() || lo < 0) continue;  // malformed chunk
+    long hi = lo;
+    if (*after == '-') {
+      const char* hi_start = after + 1;
+      hi = std::strtol(hi_start, &after, 10);
+      if (after == hi_start || hi < lo) continue;
+    }
+    for (long cpu = lo; cpu <= hi; ++cpu) cpus.push_back(static_cast<int>(cpu));
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+CpuTopology detect_topology() {
+  const std::set<int> allowed = allowed_cpus();
+  const auto usable = [&](int cpu) {
+    return allowed.empty() || allowed.count(cpu) != 0;
+  };
+
+  CpuTopology topo;
+#if defined(__linux__)
+  // Nodes are numbered densely from 0 on every Linux we target; stop at the
+  // first missing one. Memory-only nodes have an empty/absent cpulist and
+  // are dropped below.
+  for (int node = 0;; ++node) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(node) +
+                    "/cpulist");
+    if (!f.is_open()) break;
+    std::string list;
+    std::getline(f, list);
+    std::vector<int> cpus;
+    for (int cpu : parse_cpulist(list))
+      if (usable(cpu)) cpus.push_back(cpu);
+    if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
+  }
+#endif
+  if (topo.node_cpus.empty()) {
+    // No NUMA sysfs (or nothing usable): one implicit node over the allowed
+    // mask, falling back to hardware_concurrency, then to CPU 0.
+    std::vector<int> cpus(allowed.begin(), allowed.end());
+    if (cpus.empty()) {
+      const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+      for (unsigned i = 0; i < n; ++i) cpus.push_back(static_cast<int>(i));
+    }
+    topo.node_cpus.push_back(std::move(cpus));
+  }
+  return topo;
+}
+
+std::vector<CpuGroup> plan_groups(const CpuTopology& topo, int groups) {
+  std::vector<CpuGroup> out;
+  if (groups <= 0 || topo.node_cpus.empty()) return out;
+  const int nodes = topo.num_nodes();
+
+  // Groups hosted by each node (round-robin keeps replicas spread across
+  // sockets before two share one).
+  std::vector<std::vector<int>> hosted(static_cast<std::size_t>(nodes));
+  for (int g = 0; g < groups; ++g)
+    hosted[static_cast<std::size_t>(g % nodes)].push_back(g);
+
+  out.resize(static_cast<std::size_t>(groups));
+  for (int node = 0; node < nodes; ++node) {
+    const std::vector<int>& cpus = topo.node_cpus[static_cast<std::size_t>(node)];
+    const std::vector<int>& gs = hosted[static_cast<std::size_t>(node)];
+    const std::size_t c = cpus.size(), k = gs.size();
+    for (std::size_t j = 0; j < k; ++j) {
+      CpuGroup& grp = out[static_cast<std::size_t>(gs[j])];
+      grp.node = node;
+      // Contiguous slice [j*c/k, (j+1)*c/k); when the node has fewer CPUs
+      // than groups the slice can be empty — share round-robin instead.
+      const std::size_t lo = j * c / k, hi = (j + 1) * c / k;
+      if (lo < hi)
+        grp.cpus.assign(cpus.begin() + static_cast<std::ptrdiff_t>(lo),
+                        cpus.begin() + static_cast<std::ptrdiff_t>(hi));
+      else
+        grp.cpus.push_back(cpus[j % c]);
+    }
+  }
+  return out;
+}
+
+bool pin_current_thread(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (int cpu : cpus)
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &mask);
+  if (CPU_COUNT(&mask) == 0) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+  return false;
+#endif
+}
+
+int current_cpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+}  // namespace dnnspmv::affinity

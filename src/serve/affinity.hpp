@@ -1,0 +1,75 @@
+// CPU/NUMA topology discovery and worker placement (serve/router tier).
+//
+// A ReplicaRouter runs N independent SelectionService replicas; if their
+// worker pools float freely the OS migrates them across cores and NUMA
+// nodes, so a replica's model weights, LRU shard, and queue keep bouncing
+// between last-level caches. This helper pins each replica's workers to a
+// distinct core group, preferring groups that do not straddle NUMA nodes:
+//
+//   detect_topology()  — reads /sys/devices/system/node/node*/cpulist and
+//                        intersects it with the process's allowed-CPU mask
+//                        (sched_getaffinity), so containers and taskset
+//                        limits are respected. Hosts without NUMA sysfs
+//                        degrade to one implicit node over all CPUs.
+//   plan_groups(t, G)  — partitions the usable CPUs into G disjoint groups,
+//                        round-robining groups across NUMA nodes and
+//                        slicing contiguously within a node. With fewer
+//                        CPUs than groups, groups share CPUs round-robin
+//                        (placement degrades, never fails).
+//   pin_current_thread — pthread_setaffinity_np on Linux; a no-op returning
+//                        false elsewhere, so callers can treat pinning as
+//                        best-effort everywhere.
+//
+// Everything here is best-effort by design: a failed pin leaves the thread
+// where the scheduler put it, which is exactly the pre-router behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dnnspmv::affinity {
+
+/// CPUs usable by this process, grouped by NUMA node.
+struct CpuTopology {
+  // node_cpus[i] = sorted CPU ids of the i-th usable NUMA node. Nodes with
+  // no usable CPUs (memory-only nodes, fully masked nodes) are dropped.
+  std::vector<std::vector<int>> node_cpus;
+
+  int num_nodes() const { return static_cast<int>(node_cpus.size()); }
+  int num_cpus() const {
+    int n = 0;
+    for (const auto& node : node_cpus) n += static_cast<int>(node.size());
+    return n;
+  }
+};
+
+/// One replica's worker placement.
+struct CpuGroup {
+  int node = 0;           // NUMA node the CPUs were drawn from
+  std::vector<int> cpus;  // CPU ids the replica's workers pin to
+};
+
+/// Parses a sysfs cpulist string ("0-3,8,10-11") into sorted CPU ids.
+/// Malformed chunks are skipped (sysfs is trusted but not load-bearing).
+std::vector<int> parse_cpulist(const std::string& list);
+
+/// The host topology as visible to this process (allowed-CPU mask applied).
+/// Never returns an empty topology: with no sysfs NUMA info the result is
+/// one node holding every allowed CPU (or CPU 0 as a last resort).
+CpuTopology detect_topology();
+
+/// Splits `topo` into `groups` worker placements. Groups are assigned to
+/// nodes round-robin (group g → usable node g mod N) and each node's CPUs
+/// are sliced contiguously across the groups it hosts; when a node has
+/// fewer CPUs than groups, its groups share CPUs round-robin. Every
+/// returned group is non-empty.
+std::vector<CpuGroup> plan_groups(const CpuTopology& topo, int groups);
+
+/// Pins the calling thread to `cpus`. Returns false (thread unchanged) on
+/// an empty set, on non-Linux hosts, or if the kernel rejects the mask.
+bool pin_current_thread(const std::vector<int>& cpus);
+
+/// CPU the calling thread is currently running on, or -1 if unknown.
+int current_cpu();
+
+}  // namespace dnnspmv::affinity

@@ -9,24 +9,27 @@ namespace {
 
 /// Fails one request's promise, tolerating an already-satisfied one (the
 /// fulfil/fail race on shutdown paths must never terminate the process).
+/// The completion hook (if any) fires after the promise, err in hand.
 void fail_request(PredictRequest& r, const std::exception_ptr& err) {
   try {
     r.result.set_exception(err);
   } catch (const std::future_error&) {
     // promise already satisfied — nothing to deliver
   }
+  invoke_done(r, -1, AnswerSource::kError, err);
 }
 
 }  // namespace
 
 Batcher::Batcher(const FormatSelector& selector, RequestQueue& queue,
                  PredictionCache& cache, ServiceMetrics& metrics,
-                 std::size_t max_batch)
+                 std::size_t max_batch, fault::Injector* injector)
     : selector_(selector),
       queue_(queue),
       cache_(cache),
       metrics_(metrics),
-      max_batch_(max_batch) {
+      max_batch_(max_batch),
+      injector_(injector ? injector : &fault::Injector::global()) {
   DNNSPMV_CHECK(max_batch > 0);
 }
 
@@ -46,7 +49,7 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
   // still expire *during* the forward; it then gets its answer late. The
   // dequeue check bounds queue-wait, not compute.) The kWorkerPop fault
   // site drops requests the same way, with errc::fault_injected.
-  fault::Injector& inj = fault::Injector::global();
+  fault::Injector& inj = *injector_;
   std::size_t kept = 0;
   std::uint64_t expired = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -93,8 +96,10 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
     for (std::size_t i = 0; i < batch.size(); ++i)
       cache_.put(batch[i].fingerprint, picks[i]);
     metrics_.record_batch(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i)
+    for (std::size_t i = 0; i < batch.size(); ++i) {
       batch[i].result.set_value(picks[i]);
+      invoke_done(batch[i], picks[i], AnswerSource::kCnn, nullptr);
+    }
   } catch (...) {
     // A failed forward (real or injected) fails the whole micro-batch;
     // each waiting client gets the exception instead of a hang.

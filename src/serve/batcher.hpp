@@ -23,6 +23,7 @@
 #pragma once
 
 #include "core/selector.hpp"
+#include "serve/fault.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
@@ -31,9 +32,11 @@ namespace dnnspmv {
 
 class Batcher {
  public:
+  /// `injector` scopes fault injection (null → the process-global one), so
+  /// a router can make exactly one replica's workers unhealthy.
   Batcher(const FormatSelector& selector, RequestQueue& queue,
           PredictionCache& cache, ServiceMetrics& metrics,
-          std::size_t max_batch);
+          std::size_t max_batch, fault::Injector* injector = nullptr);
 
   /// Worker loop; returns when the queue is closed and fully drained.
   /// Never throws: inference failures are forwarded to the waiting
@@ -52,6 +55,7 @@ class Batcher {
   PredictionCache& cache_;
   ServiceMetrics& metrics_;
   std::size_t max_batch_;
+  fault::Injector* injector_;
 };
 
 }  // namespace dnnspmv

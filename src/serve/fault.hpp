@@ -63,7 +63,13 @@ struct Decision {
 
 class Injector {
  public:
-  /// The process-global injector every serve call site consults.
+  /// A fresh, disarmed injector. ServiceOptions::injector lets one service
+  /// consult a private instance instead of the global one — how a router
+  /// bench/test turns exactly one replica into a straggler while its
+  /// siblings stay healthy.
+  Injector() = default;
+
+  /// The process-global injector every serve call site consults by default.
   static Injector& global();
 
   /// Arms `site` with `plan` and enables the injector.
@@ -93,8 +99,6 @@ class Injector {
   std::uint64_t injected(Site site) const;
 
  private:
-  Injector() = default;
-
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::array<Plan, kNumSites> plans_{};

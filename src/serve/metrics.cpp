@@ -44,6 +44,7 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* reg)
       shed_(reg_->counter(prefix_ + "shed")),
       degraded_(reg_->counter(prefix_ + "degraded")),
       retries_(reg_->counter(prefix_ + "retries")),
+      fp_reused_(reg_->counter(prefix_ + "fp_reused")),
       batches_(reg_->counter(prefix_ + "batches")),
       batched_samples_(reg_->counter(prefix_ + "batched_samples")),
       max_batch_(reg_->gauge(prefix_ + "max_batch")),
@@ -71,6 +72,7 @@ ServiceStats ServiceMetrics::snapshot(std::uint64_t cache_entries) const {
   s.shed = shed_.value();
   s.degraded = degraded_.value();
   s.retries = retries_.value();
+  s.fp_reused = fp_reused_.value();
   s.batches = batches_.value();
   s.batched_samples = batched_samples_.value();
   s.max_batch = static_cast<std::uint64_t>(max_batch_.value());

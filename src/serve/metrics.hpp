@@ -36,6 +36,8 @@ struct ServiceStats {
   std::uint64_t shed = 0;            // misses shed by admission control
   std::uint64_t degraded = 0;        // answered by the FallbackSelector
   std::uint64_t retries = 0;         // backoff retries of full-queue pushes
+  std::uint64_t fp_reused = 0;       // requests whose caller-supplied
+                                     // fingerprint skipped the O(nnz) rehash
   std::uint64_t batches = 0;         // forward passes executed
   std::uint64_t batched_samples = 0; // requests summed over those batches
   std::uint64_t max_batch = 0;       // largest coalesced batch seen
@@ -98,6 +100,8 @@ class ServiceMetrics {
     if (by_watermark) shed_.inc();
   }
   void record_retry() { retries_.inc(); }
+  /// A submit whose stats+fingerprint arrived precomputed (router path).
+  void record_fp_reused() { fp_reused_.inc(); }
   void record_queue_depth(std::size_t depth) {
     queue_depth_.set(static_cast<double>(depth));
   }
@@ -129,6 +133,7 @@ class ServiceMetrics {
   obs::Counter& shed_;
   obs::Counter& degraded_;
   obs::Counter& retries_;
+  obs::Counter& fp_reused_;
   obs::Counter& batches_;
   obs::Counter& batched_samples_;
   obs::Gauge& max_batch_;

@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <vector>
@@ -26,6 +27,27 @@
 #include "tensor/tensor.hpp"
 
 namespace dnnspmv {
+
+/// Which path of the service produced an answer. Carried by the completion
+/// callback so a routing tier can count cache wins on a hedged sibling
+/// (misrouted keys) without re-deriving the path from metrics deltas.
+enum class AnswerSource : std::int8_t {
+  kCache = 0,  // fingerprint LRU hit, answered inline
+  kCnn,        // batched forward pass through the model
+  kDegraded,   // FallbackSelector (shed or retry-budget exhausted)
+  kError,      // failed: deadline, shutdown, injected or real fault
+};
+
+/// Completion hook for one request, invoked exactly once on whatever thread
+/// resolves it (the submitter for hits/degraded/rejected answers, a batch
+/// worker otherwise) — the push-model complement of the returned future,
+/// which is what lets ReplicaRouter race a hedged re-dispatch against the
+/// primary without polling futures. Exactly one of the two final arguments
+/// is meaningful: `err` is null on success, `idx` is -1 on failure.
+/// Callbacks must not throw and must not block the resolving thread.
+using DoneCallback =
+    std::function<void(std::int32_t idx, AnswerSource src,
+                       std::exception_ptr err)>;
 
 /// One queued prediction. `inputs` are the CNN representations of the
 /// matrix (built by the client thread); `result` delivers the predicted
@@ -36,12 +58,28 @@ struct PredictRequest {
   std::uint64_t fingerprint = 0;
   std::vector<Tensor> inputs;
   std::promise<std::int32_t> result;
+  // Optional completion hook, fired right after `result` is satisfied.
+  DoneCallback done;
   std::int64_t enqueued_at_us = -1;
   // Absolute expiry in the obs::now_us timebase; -1 = no deadline. Workers
   // fail expired requests with errc::deadline_exceeded at dequeue instead
   // of spending a forward pass on an answer nobody is waiting for.
   std::int64_t deadline_us = -1;
 };
+
+/// Fires `r.done` exactly once (the callback is consumed) and swallows
+/// anything it throws — a misbehaving hook must not take down a worker.
+inline void invoke_done(PredictRequest& r, std::int32_t idx, AnswerSource src,
+                        const std::exception_ptr& err) {
+  if (!r.done) return;
+  DoneCallback cb = std::move(r.done);
+  r.done = nullptr;
+  try {
+    cb(idx, src, err);
+  } catch (...) {
+    // Completion hooks are documented no-throw; drop anything that leaks.
+  }
+}
 
 enum class PushResult { kOk, kFull, kClosed };
 

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
-#include "serve/fault.hpp"
+#include "serve/affinity.hpp"
 #include "serve/fingerprint.hpp"
 
 namespace dnnspmv {
@@ -29,6 +30,19 @@ FallbackSelector make_fallback(const FormatSelector& selector,
   return *opts.fallback;
 }
 
+/// Ready future carrying `idx`; also consumes `done` on the success path.
+std::future<std::int32_t> ready_future(std::int32_t idx, AnswerSource src,
+                                       DoneCallback& done) {
+  if (done) {
+    PredictRequest tmp;
+    tmp.done = std::move(done);
+    invoke_done(tmp, idx, src, nullptr);
+  }
+  std::promise<std::int32_t> ready;
+  ready.set_value(idx);
+  return ready.get_future();
+}
+
 }  // namespace
 
 SelectionService::SelectionService(const FormatSelector& selector,
@@ -37,9 +51,11 @@ SelectionService::SelectionService(const FormatSelector& selector,
       opts_(opts),
       fallback_(make_fallback(selector, opts)),
       shed_threshold_(shed_threshold_for(opts)),
+      injector_(opts.injector ? opts.injector : &fault::Injector::global()),
       cache_(opts.cache_capacity, opts.cache_shards),
       queue_(opts.queue_capacity),
-      batcher_(selector_, queue_, cache_, metrics_, opts.max_batch) {
+      batcher_(selector_, queue_, cache_, metrics_, opts.max_batch,
+               injector_) {
   DNNSPMV_CHECK_ERRC(selector.trained(), errc::not_trained,
                      "SelectionService needs a trained FormatSelector");
   DNNSPMV_CHECK_ERRC(opts.num_workers > 0, errc::invalid_argument,
@@ -52,7 +68,11 @@ SelectionService::SelectionService(const FormatSelector& selector,
                      "push_backoff_us must be non-negative");
   workers_.reserve(static_cast<std::size_t>(opts.num_workers));
   for (int i = 0; i < opts.num_workers; ++i)
-    workers_.emplace_back([this] { batcher_.run(); });
+    workers_.emplace_back([this] {
+      // Best-effort: an unpinnable host just leaves the scheduler in charge.
+      if (!opts_.pin_cpus.empty()) affinity::pin_current_thread(opts_.pin_cpus);
+      batcher_.run();
+    });
 }
 
 SelectionService::~SelectionService() { shutdown(); }
@@ -65,7 +85,7 @@ void SelectionService::shutdown() {
 }
 
 std::future<std::int32_t> SelectionService::answer_degraded(
-    const MatrixStats& st, bool by_watermark) {
+    const MatrixStats& st, bool by_watermark, DoneCallback done) {
   obs::Span span("serve.degraded");
   // Degraded answers are deliberately NOT cached: the fallback's pick may
   // differ from the CNN's, and a cached heuristic answer would keep being
@@ -73,9 +93,65 @@ std::future<std::int32_t> SelectionService::answer_degraded(
   // sustained overload re-run the fallback, which is O(#features).
   const std::int32_t idx = fallback_.predict_index(st);
   metrics_.record_degraded(by_watermark);
-  std::promise<std::int32_t> ready;
-  ready.set_value(idx);
-  return ready.get_future();
+  return ready_future(idx, AnswerSource::kDegraded, done);
+}
+
+std::optional<std::future<std::int32_t>> SelectionService::answer_inline(
+    const MatrixStats& st, std::uint64_t fp, DoneCallback& done) {
+  {
+    obs::Span span("serve.cache_probe");
+    std::int32_t cached = 0;
+    if (cache_.get(fp, cached)) {
+      metrics_.record_hit();
+      return ready_future(cached, AnswerSource::kCache, done);
+    }
+  }
+  metrics_.record_miss();
+
+  // Admission control: above the watermark a miss is shed to the degraded
+  // path *before* the expensive representation build — under overload the
+  // whole submit stays O(nnz) (the stats pass it already paid).
+  if (queue_.approx_size() >= shed_threshold_)
+    return answer_degraded(st, true, std::move(done));
+  return std::nullopt;
+}
+
+std::future<std::int32_t> SelectionService::enqueue(
+    PredictRequest&& req, const MatrixStats& st,
+    std::optional<std::chrono::microseconds> deadline) {
+  std::future<std::int32_t> fut = req.result.get_future();
+  req.enqueued_at_us = obs::now_us();
+  if (deadline) req.deadline_us = req.enqueued_at_us + deadline->count();
+
+  std::int64_t backoff_us = opts_.push_backoff_us;
+  for (int attempt = 0;; ++attempt) {
+    PushResult pr;
+    if (injector_->enabled() && injector_->inject(fault::Site::kQueuePush))
+      pr = PushResult::kFull;  // injected transient full-queue
+    else
+      pr = queue_.try_push(std::move(req));
+    if (pr == PushResult::kOk) {
+      metrics_.record_queue_depth(queue_.approx_size());
+      return fut;
+    }
+    if (pr == PushResult::kClosed) {
+      metrics_.record_rejected();
+      const auto err = std::make_exception_ptr(DnnspmvError(
+          errc::service_shutdown,
+          "SelectionService is shut down; request rejected"));
+      invoke_done(req, -1, AnswerSource::kError, err);
+      std::promise<std::int32_t> failed;
+      failed.set_exception(err);
+      return failed.get_future();
+    }
+    // Transiently full: bounded retry with doubling backoff, then shed.
+    if (attempt >= opts_.push_retries) break;
+    metrics_.record_retry();
+    if (backoff_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us *= 2;
+  }
+  return answer_degraded(st, false, std::move(req.done));
 }
 
 std::future<std::int32_t> SelectionService::submit(
@@ -87,23 +163,9 @@ std::future<std::int32_t> SelectionService::submit(
     st = compute_stats(a);
     fp = structural_fingerprint(st);
   }
-
-  {
-    obs::Span span("serve.cache_probe");
-    std::int32_t cached = 0;
-    if (cache_.get(fp, cached)) {
-      metrics_.record_hit();
-      std::promise<std::int32_t> ready;
-      ready.set_value(cached);
-      return ready.get_future();
-    }
-  }
-  metrics_.record_miss();
-
-  // Admission control: above the watermark a miss is shed to the degraded
-  // path *before* the expensive representation build — under overload the
-  // whole submit stays O(nnz) (the stats pass it already paid).
-  if (queue_.approx_size() >= shed_threshold_) return answer_degraded(st, true);
+  DoneCallback done;
+  if (auto inline_answer = answer_inline(st, fp, done))
+    return std::move(*inline_answer);
 
   PredictRequest req;
   req.fingerprint = fp;
@@ -111,38 +173,40 @@ std::future<std::int32_t> SelectionService::submit(
     obs::Span span("serve.prepare_inputs");
     req.inputs = selector_.prepare_inputs(a);
   }
-  std::future<std::int32_t> fut = req.result.get_future();
-  req.enqueued_at_us = obs::now_us();
-  if (deadline) req.deadline_us = req.enqueued_at_us + deadline->count();
+  return enqueue(std::move(req), st, deadline);
+}
 
-  fault::Injector& inj = fault::Injector::global();
-  std::int64_t backoff_us = opts_.push_backoff_us;
-  for (int attempt = 0;; ++attempt) {
-    PushResult pr;
-    if (inj.enabled() && inj.inject(fault::Site::kQueuePush))
-      pr = PushResult::kFull;  // injected transient full-queue
-    else
-      pr = queue_.try_push(std::move(req));
-    if (pr == PushResult::kOk) {
-      metrics_.record_queue_depth(queue_.approx_size());
-      return fut;
-    }
-    if (pr == PushResult::kClosed) {
-      metrics_.record_rejected();
-      std::promise<std::int32_t> failed;
-      failed.set_exception(std::make_exception_ptr(DnnspmvError(
-          errc::service_shutdown,
-          "SelectionService is shut down; request rejected")));
-      return failed.get_future();
-    }
-    // Transiently full: bounded retry with doubling backoff, then shed.
-    if (attempt >= opts_.push_retries) break;
-    metrics_.record_retry();
-    if (backoff_us > 0)
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-    backoff_us *= 2;
+std::future<std::int32_t> SelectionService::submit_fingerprinted(
+    const Csr& a, const MatrixStats& st, std::uint64_t fp,
+    std::optional<std::chrono::microseconds> deadline, DoneCallback done,
+    std::vector<Tensor>* retain_inputs) {
+  metrics_.record_fp_reused();
+  if (auto inline_answer = answer_inline(st, fp, done))
+    return std::move(*inline_answer);
+
+  PredictRequest req;
+  req.fingerprint = fp;
+  {
+    obs::Span span("serve.prepare_inputs");
+    req.inputs = selector_.prepare_inputs(a);
   }
-  return answer_degraded(st, false);
+  if (retain_inputs) *retain_inputs = req.inputs;  // hedge copy
+  req.done = std::move(done);
+  return enqueue(std::move(req), st, deadline);
+}
+
+std::future<std::int32_t> SelectionService::submit_prepared(
+    const MatrixStats& st, std::uint64_t fp, std::vector<Tensor> inputs,
+    std::optional<std::chrono::microseconds> deadline, DoneCallback done) {
+  metrics_.record_fp_reused();
+  if (auto inline_answer = answer_inline(st, fp, done))
+    return std::move(*inline_answer);
+
+  PredictRequest req;
+  req.fingerprint = fp;
+  req.inputs = std::move(inputs);
+  req.done = std::move(done);
+  return enqueue(std::move(req), st, deadline);
 }
 
 std::int32_t SelectionService::predict_index(

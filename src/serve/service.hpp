@@ -50,6 +50,15 @@
 //   fault_injected   — failed by an armed fault-injection site
 //   (other)          — a real forward-pass failure, forwarded verbatim
 //
+// Router hooks (serve/router.hpp): submit_fingerprinted() accepts the
+// stats+fingerprint a ReplicaRouter already computed to pick this replica
+// (one O(nnz) pass per request instead of two), optionally retains a copy
+// of the enqueued CNN inputs for hedged re-dispatch, and fires an optional
+// DoneCallback exactly once when the request resolves; submit_prepared()
+// is the hedge's re-dispatch entry (inputs already built, no matrix
+// needed). ServiceOptions::pin_cpus pins the worker pool to a core/NUMA
+// group and ServiceOptions::injector scopes fault injection per replica.
+//
 // Thread safety: predict()/predict_index()/submit()/snapshot() may be
 // called concurrently from any number of threads. shutdown() (or
 // destruction) drains in-flight requests before returning; requests that
@@ -73,6 +82,7 @@
 #include "core/selector.hpp"
 #include "serve/batcher.hpp"
 #include "serve/fallback.hpp"
+#include "serve/fault.hpp"
 
 namespace dnnspmv {
 
@@ -82,6 +92,17 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;
+
+  // Worker placement: CPU ids the worker pool pins to at start-up (empty =
+  // leave threads to the scheduler). Set by ReplicaRouter from its NUMA
+  // plan (serve/affinity.hpp); pinning is best-effort.
+  std::vector<int> pin_cpus;
+
+  // Fault-injection scope: the injector this service's sites consult
+  // (null = the process-global fault::Injector::global()). A router bench
+  // or test hands one replica a private armed injector to script a
+  // straggler while its siblings stay healthy. Must outlive the service.
+  fault::Injector* injector = nullptr;
 
   // Robustness knobs. shed_watermark is a fraction of queue_capacity:
   // misses arriving above it are answered degraded instead of queued
@@ -128,6 +149,31 @@ class SelectionService {
                                    std::optional<std::chrono::microseconds>
                                        deadline = std::nullopt);
 
+  /// Router-path submit: the caller already computed `st` and `fp` (to pick
+  /// this replica off the hash ring), so this overload skips the O(nnz)
+  /// stats pass submit() would repeat — counted in the `fp_reused` metric.
+  /// `done` (optional) fires exactly once when the request resolves, on
+  /// whatever thread resolves it, alongside the returned future. If
+  /// `retain_inputs` is non-null and the request reaches the queue (cache
+  /// miss, admitted), it receives a copy of the CNN inputs actually
+  /// enqueued — what a router keeps for a later hedged re-dispatch; it is
+  /// left empty on every inline path (hit / degraded / rejected).
+  std::future<std::int32_t> submit_fingerprinted(
+      const Csr& a, const MatrixStats& st, std::uint64_t fp,
+      std::optional<std::chrono::microseconds> deadline = std::nullopt,
+      DoneCallback done = nullptr, std::vector<Tensor>* retain_inputs = nullptr);
+
+  /// Re-dispatch submit: the CNN inputs are already built (a hedge re-uses
+  /// the copy retained by submit_fingerprinted), so the matrix itself is no
+  /// longer needed. Still probes this replica's cache first — a hedged key
+  /// can be cache-warm on the sibling — and still sheds to the degraded
+  /// path above the watermark. `st` feeds the FallbackSelector on that
+  /// path. Also counted in `fp_reused`.
+  std::future<std::int32_t> submit_prepared(
+      const MatrixStats& st, std::uint64_t fp, std::vector<Tensor> inputs,
+      std::optional<std::chrono::microseconds> deadline = std::nullopt,
+      DoneCallback done = nullptr);
+
   /// Closes the queue, drains in-flight requests, joins workers.
   /// Idempotent; also called by the destructor.
   void shutdown();
@@ -148,15 +194,35 @@ class SelectionService {
   }
   const ServiceOptions& options() const { return opts_; }
 
+  /// Approximate queue occupancy (the admission-control mirror) — what a
+  /// router polls for its per-replica depth gauges.
+  std::size_t queue_depth() const { return queue_.approx_size(); }
+
  private:
   /// Immediate fallback answer for a shed miss (stats already computed).
+  /// Consumes `done` (fires it with the degraded answer) when set.
   std::future<std::int32_t> answer_degraded(const MatrixStats& st,
-                                            bool by_watermark);
+                                            bool by_watermark,
+                                            DoneCallback done);
+
+  /// Cache probe → shed check shared by every submit flavour. Returns an
+  /// engaged future when the request resolved inline (hit or shed).
+  std::optional<std::future<std::int32_t>> answer_inline(
+      const MatrixStats& st, std::uint64_t fp, DoneCallback& done);
+
+  /// Bounded-retry enqueue of a fully-built request (common tail of every
+  /// submit flavour). Falls back to the degraded path when the queue stays
+  /// full and fails the request when the queue is closed.
+  std::future<std::int32_t> enqueue(PredictRequest&& req,
+                                    const MatrixStats& st,
+                                    std::optional<std::chrono::microseconds>
+                                        deadline);
 
   const FormatSelector& selector_;
   ServiceOptions opts_;
   FallbackSelector fallback_;
   std::size_t shed_threshold_;  // queue occupancy that triggers shedding
+  fault::Injector* injector_;   // opts_.injector or the global instance
   PredictionCache cache_;
   RequestQueue queue_;
   ServiceMetrics metrics_;
