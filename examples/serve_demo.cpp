@@ -139,6 +139,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.max_batch));
     std::printf("latency p50   %.0f us\n", 1e6 * s.latency_quantile(0.5));
     std::printf("latency p95   %.0f us\n", 1e6 * s.latency_quantile(0.95));
+    std::printf("rep build     p50 %.0f us, mean %.0f us over %llu misses\n",
+                s.rep_build.quantile(0.5), s.rep_build.mean(),
+                static_cast<unsigned long long>(s.rep_build.count));
     std::printf("cache entries %llu\n",
                 static_cast<unsigned long long>(s.cache_entries));
   }

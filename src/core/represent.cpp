@@ -8,18 +8,13 @@
 namespace dnnspmv {
 namespace {
 
-/// Maps source index i in [0, n) to cell index in [0, s): floor(i*s/n).
-std::int64_t cell_of(std::int64_t i, std::int64_t n, std::int64_t s) {
-  return std::min<std::int64_t>(s - 1, i * s / n);
+// Geometry helpers now live in represent.hpp (rep_cell_of/rep_cell_span),
+// shared with the streaming builder; local names kept for readability.
+inline std::int64_t cell_of(std::int64_t i, std::int64_t n, std::int64_t s) {
+  return rep_cell_of(i, n, s);
 }
-
-/// Number of source indices mapped to cell c (for exact density blocks).
-std::int64_t cell_span(std::int64_t c, std::int64_t n, std::int64_t s) {
-  // Inverse of cell_of for the floor mapping: indices i with i*s/n == c
-  // form [ceil(c*n/s), ceil((c+1)*n/s)).
-  const std::int64_t lo = (c * n + s - 1) / s;
-  const std::int64_t hi = ((c + 1) * n + s - 1) / s;
-  return std::max<std::int64_t>(0, std::min(hi, n) - lo);
+inline std::int64_t cell_span(std::int64_t c, std::int64_t n, std::int64_t s) {
+  return rep_cell_span(c, n, s);
 }
 
 }  // namespace
@@ -116,17 +111,25 @@ Tensor normalize_histogram(Tensor h) {
   return h;
 }
 
-Tensor density_scale_histogram(Tensor h, std::int64_t source_rows) {
-  DNNSPMV_CHECK(h.rank() == 2 && source_rows > 0);
+void density_scale_histogram_into(const Tensor& raw, std::int64_t source_rows,
+                                  double count_scale, Tensor& out) {
+  DNNSPMV_CHECK(raw.rank() == 2 && source_rows > 0 && count_scale > 0.0);
   const double rows_per_group =
       std::max(1.0, static_cast<double>(source_rows) /
-                        static_cast<double>(h.dim(0)));
+                        static_cast<double>(raw.dim(0)));
   // log1p(64) caps the useful density range at ~64 nnz/row/bin.
   const float scale = static_cast<float>(1.0 / std::log1p(64.0));
-  for (std::int64_t i = 0; i < h.size(); ++i) {
-    const double per_row = h[i] / rows_per_group;
-    h[i] = std::min(1.0f, static_cast<float>(std::log1p(per_row)) * scale);
+  out.ensure2(raw.dim(0), raw.dim(1));
+  for (std::int64_t i = 0; i < raw.size(); ++i) {
+    // count_scale == 1.0 leaves raw[i] bit-exact, so the streamed exact
+    // path reproduces the historical density_scale_histogram() output.
+    const double per_row = raw[i] * count_scale / rows_per_group;
+    out[i] = std::min(1.0f, static_cast<float>(std::log1p(per_row)) * scale);
   }
+}
+
+Tensor density_scale_histogram(Tensor h, std::int64_t source_rows) {
+  density_scale_histogram_into(h, source_rows, 1.0, h);
   return h;
 }
 

@@ -34,6 +34,25 @@ std::string rep_mode_name(RepMode m);
 /// Number of CNN input sources the mode produces.
 int rep_num_sources(RepMode m);
 
+/// Maps source index i in [0, n) to cell index in [0, s): floor(i*s/n),
+/// clamped to the last cell. Single source of truth for representation
+/// geometry — the exact builders below and the streaming builder
+/// (core/rep_stream.hpp) must agree bitwise, and do so by sharing this.
+inline std::int64_t rep_cell_of(std::int64_t i, std::int64_t n,
+                                std::int64_t s) {
+  return std::min<std::int64_t>(s - 1, i * s / n);
+}
+
+/// Number of source indices mapped to cell c (for exact density blocks).
+inline std::int64_t rep_cell_span(std::int64_t c, std::int64_t n,
+                                  std::int64_t s) {
+  // Inverse of rep_cell_of for the floor mapping: indices i with
+  // i*s/n == c form [ceil(c*n/s), ceil((c+1)*n/s)).
+  const std::int64_t lo = (c * n + s - 1) / s;
+  const std::int64_t hi = ((c + 1) * n + s - 1) / s;
+  return std::max<std::int64_t>(0, std::min(hi, n) - lo);
+}
+
 /// Binary down-sampled S×S representation.
 Tensor binary_rep(const Csr& a, std::int64_t s);
 
@@ -56,6 +75,16 @@ Tensor normalize_histogram(Tensor h);
 /// which global max-normalization erases (DESIGN.md §5). Default in the
 /// pipeline; the paper's /max variant is the ablation.
 Tensor density_scale_histogram(Tensor h, std::int64_t source_rows);
+
+/// Out-of-place core of density_scale_histogram: reads raw counts from
+/// `raw`, writes the scaled histogram into `out` (ensure2()d to raw's
+/// shape, every cell overwritten — safe for arena/pool-backed buffers;
+/// `raw` and `out` may alias). `count_scale` rescales counts first — the
+/// streaming builder passes nnz/sampled there so a sampled histogram
+/// estimates the full-matrix counts; 1.0 reproduces the exact result
+/// bitwise.
+void density_scale_histogram_into(const Tensor& raw, std::int64_t source_rows,
+                                  double count_scale, Tensor& out);
 
 /// The full input set for `mode`: rep_rows×rep_rows for binary/density tensors,
 /// rep_rows×rep_bins for histograms.

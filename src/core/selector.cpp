@@ -10,13 +10,16 @@ namespace dnnspmv {
 
 Dataset build_dataset(const std::vector<LabeledMatrix>& labeled,
                       const std::vector<Format>& candidates, RepMode mode,
-                      std::int64_t rep_rows, std::int64_t rep_bins) {
+                      std::int64_t rep_rows, std::int64_t rep_bins,
+                      std::int64_t rep_sample_nnz) {
+  const StreamingRepBuilder builder(
+      {mode, rep_rows, rep_bins, rep_sample_nnz, /*use_simd=*/true});
   Dataset ds;
   ds.candidates = candidates;
   ds.samples.reserve(labeled.size());
   for (const LabeledMatrix& lm : labeled) {
     Sample s;
-    s.inputs = make_inputs(*lm.matrix, mode, rep_rows, rep_bins);
+    s.inputs = builder.build(*lm.matrix);
     s.features = extract_features(*lm.matrix);
     s.format_times = lm.format_times;
     s.label = lm.label;
@@ -27,7 +30,9 @@ Dataset build_dataset(const std::vector<LabeledMatrix>& labeled,
 }
 
 FormatSelector::FormatSelector(SelectorOptions opts)
-    : opts_(std::move(opts)) {}
+    : opts_(std::move(opts)),
+      rep_builder_({opts_.mode, opts_.rep_rows, opts_.rep_bins,
+                    opts_.rep_sample_nnz, /*use_simd=*/true}) {}
 
 CnnSpec FormatSelector::make_spec() const {
   CnnSpec spec;
@@ -47,8 +52,9 @@ CnnSpec FormatSelector::make_spec() const {
 void FormatSelector::fit(const std::vector<LabeledMatrix>& labeled,
                          std::vector<Format> candidates) {
   candidates_ = std::move(candidates);
-  const Dataset ds = build_dataset(labeled, candidates_, opts_.mode,
-                                   opts_.rep_rows, opts_.rep_bins);
+  const Dataset ds =
+      build_dataset(labeled, candidates_, opts_.mode, opts_.rep_rows,
+                    opts_.rep_bins, opts_.rep_sample_nnz);
   const CnnSpec spec = make_spec();
   net_ = std::make_unique<MergeNet>(build_cnn(spec));
   train_cnn(*net_, ds, num_net_inputs(spec), opts_.train);
@@ -64,7 +70,7 @@ void FormatSelector::fit(const Dataset& train) {
 
 std::vector<Tensor> FormatSelector::prepare_inputs(const Csr& a) const {
   DNNSPMV_CHECK_MSG(net_, "predict on an untrained FormatSelector");
-  return make_inputs(a, opts_.mode, opts_.rep_rows, opts_.rep_bins);
+  return rep_builder_.build(a);
 }
 
 std::vector<std::int32_t> FormatSelector::predict_prepared(
@@ -159,6 +165,8 @@ void FormatSelector::save(const std::string& path) const {
   os.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
   os.write(reinterpret_cast<const char*>(&opts_.rep_rows), sizeof(opts_.rep_rows));
   os.write(reinterpret_cast<const char*>(&opts_.rep_bins), sizeof(opts_.rep_bins));
+  os.write(reinterpret_cast<const char*>(&opts_.rep_sample_nnz),
+           sizeof(opts_.rep_sample_nnz));
   const std::int32_t late = opts_.late_merge ? 1 : 0;
   os.write(reinterpret_cast<const char*>(&late), sizeof(late));
   const auto ncand = static_cast<std::int32_t>(candidates_.size());
@@ -178,6 +186,8 @@ FormatSelector FormatSelector::load(const std::string& path) {
   is.read(reinterpret_cast<char*>(&mode), sizeof(mode));
   is.read(reinterpret_cast<char*>(&opts.rep_rows), sizeof(opts.rep_rows));
   is.read(reinterpret_cast<char*>(&opts.rep_bins), sizeof(opts.rep_bins));
+  is.read(reinterpret_cast<char*>(&opts.rep_sample_nnz),
+          sizeof(opts.rep_sample_nnz));
   is.read(reinterpret_cast<char*>(&late), sizeof(late));
   is.read(reinterpret_cast<char*>(&ncand), sizeof(ncand));
   DNNSPMV_CHECK_MSG(is.good() && ncand >= 2, "corrupt selector file");

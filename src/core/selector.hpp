@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/rep_stream.hpp"
 #include "core/represent.hpp"
 #include "core/transfer.hpp"
 #include "ml/features.hpp"
@@ -20,25 +21,25 @@ namespace dnnspmv {
 
 struct SelectorOptions {
   RepMode mode = RepMode::kHistogram;
-  // Representation geometry. The old `size1`/`size2` names are kept as
-  // deprecated aliases (same storage) for one release; new code should
-  // use rep_rows/rep_bins.
-  union {
-    std::int64_t rep_rows = 32;  // rows of the representation
-    [[deprecated("use rep_rows")]] std::int64_t size1;
-  };
-  union {
-    std::int64_t rep_bins = 16;  // histogram bins (ignored for binary/density)
-    [[deprecated("use rep_bins")]] std::int64_t size2;
-  };
+  std::int64_t rep_rows = 32;  // rows of the representation
+  std::int64_t rep_bins = 16;  // histogram bins (ignored for binary/density)
+  // Sampling budget for the streaming representation builder: matrices
+  // with more nonzeros than this are represented from a deterministic
+  // strided sample instead of a full pass (<= 0 always exact). Applied
+  // identically at train and serve time, so representations stay
+  // bit-identical across the two.
+  std::int64_t rep_sample_nnz = kDefaultRepSampleNnz;
   bool late_merge = true;
   TrainConfig train;
 };
 
 /// Builds the CNN-ready dataset from labelled matrices: step 2 of Figure 3.
+/// Representations come from the same streaming sampled builder the serve
+/// path uses (same rep_sample_nnz => same tensors, bitwise).
 Dataset build_dataset(const std::vector<LabeledMatrix>& labeled,
                       const std::vector<Format>& candidates, RepMode mode,
-                      std::int64_t rep_rows, std::int64_t rep_bins);
+                      std::int64_t rep_rows, std::int64_t rep_bins,
+                      std::int64_t rep_sample_nnz = kDefaultRepSampleNnz);
 
 class FormatSelector {
  public:
@@ -88,6 +89,11 @@ class FormatSelector {
 
   const std::vector<Format>& candidates() const { return candidates_; }
 
+  /// The streaming representation builder prepare_inputs runs — exposed so
+  /// serving layers can drive the allocation-free build_into() path with
+  /// their own arenas and pooled output buffers.
+  const StreamingRepBuilder& rep_builder() const { return rep_builder_; }
+
   /// Index of `f` in candidates(), or -1 when `f` is not a candidate.
   /// Lets alternate answer paths (the serve layer's FallbackSelector, cost
   /// models) map a Format into this selector's class-index space.
@@ -114,6 +120,7 @@ class FormatSelector {
   CnnSpec make_spec() const;
 
   SelectorOptions opts_;
+  StreamingRepBuilder rep_builder_;  // derived from opts_; keep adjacent
   std::vector<Format> candidates_;
   std::unique_ptr<MergeNet> net_;  // unique_ptr: MergeNet is move-averse
   // Serializes forward passes (MergeNet scratch is not re-entrant); in a

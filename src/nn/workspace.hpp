@@ -7,12 +7,17 @@
 // thread-safe: use one per thread (the serve batcher keeps one per worker,
 // the trainer one per training loop, and every Layer owns a lazily created
 // fallback for callers that don't thread one through).
+//
+// Since the streaming-representation refactor, Workspace is a thin float
+// view over the general TensorArena (src/tensor/arena.hpp) — the same
+// arena abstraction the representation builder uses upstream of the net —
+// kept as its own type so layer code keeps its narrow float-scratch API.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+
+#include "tensor/arena.hpp"
 
 namespace dnnspmv {
 
@@ -20,26 +25,20 @@ class Workspace {
  public:
   /// Scratch buffer of at least `size` floats for (owner, slot). Contents
   /// are unspecified — callers must fully overwrite what they read back.
-  float* get(const void* owner, int slot, std::int64_t size);
+  float* get(const void* owner, int slot, std::int64_t size) {
+    return arena_.floats(owner, slot, size);
+  }
 
   /// Total floats currently held across all buffers.
-  std::size_t floats_held() const;
+  std::size_t floats_held() const { return arena_.bytes_held() / sizeof(float); }
 
-  void clear() { bufs_.clear(); }
+  void clear() { arena_.clear(); }
+
+  /// The backing arena, for callers that also need tensor-level slots.
+  TensorArena& arena() { return arena_; }
 
  private:
-  struct Key {
-    const void* owner;
-    int slot;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return std::hash<const void*>()(k.owner) ^
-             (std::hash<int>()(k.slot) * 0x9e3779b97f4a7c15ULL);
-    }
-  };
-  std::unordered_map<Key, std::vector<float>, KeyHash> bufs_;
+  TensorArena arena_;
 };
 
 }  // namespace dnnspmv

@@ -23,18 +23,26 @@ void fail_request(PredictRequest& r, const std::exception_ptr& err) {
 
 Batcher::Batcher(const FormatSelector& selector, RequestQueue& queue,
                  PredictionCache& cache, ServiceMetrics& metrics,
-                 std::size_t max_batch, fault::Injector* injector)
+                 std::size_t max_batch, fault::Injector* injector,
+                 RepBufferPool* pool)
     : selector_(selector),
       queue_(queue),
       cache_(cache),
       metrics_(metrics),
       max_batch_(max_batch),
-      injector_(injector ? injector : &fault::Injector::global()) {
+      injector_(injector ? injector : &fault::Injector::global()),
+      pool_(pool) {
   DNNSPMV_CHECK(max_batch > 0);
 }
 
 void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
   if (batch.empty()) return;
+  // Recycles a request's (or assembled) input buffers into the pool; a
+  // moved-from / empty set is a no-op, so it is safe to offer both the
+  // request and the assembled copy on error paths.
+  const auto recycle = [this](std::vector<Tensor>&& bufs) {
+    if (pool_) pool_->release(std::move(bufs));
+  };
   // Queue wait is charged when a worker first sees the batch: the gap
   // between submit()'s enqueue stamp and now.
   const std::int64_t popped_us = obs::now_us();
@@ -60,12 +68,14 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
                           errc::deadline_exceeded,
                           "request expired in queue before a worker "
                           "could serve it")));
+      recycle(std::move(r.inputs));
       continue;
     }
     if (inj.enabled() && inj.decide(fault::Site::kWorkerPop).should_drop) {
       fail_request(r, std::make_exception_ptr(DnnspmvError(
                           errc::fault_injected,
                           "injected drop at serve site 'worker_pop'")));
+      recycle(std::move(r.inputs));
       continue;
     }
     if (kept != i) batch[kept] = std::move(batch[i]);
@@ -75,9 +85,9 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
   batch.resize(kept);
   if (batch.empty()) return;
 
+  std::vector<std::vector<Tensor>> prepared;
   try {
     inj.inject(fault::Site::kForward);
-    std::vector<std::vector<Tensor>> prepared;
     prepared.reserve(batch.size());
     {
       obs::Span span("serve.batch_assemble");
@@ -106,6 +116,11 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
     const std::exception_ptr err = std::current_exception();
     for (PredictRequest& r : batch) fail_request(r, err);
   }
+  // Served or failed, the input buffers are dead — recycle them. On the
+  // error paths they may still live in `batch` (pre-assembly failure), so
+  // offer both containers; only the non-empty ones pool.
+  for (std::vector<Tensor>& bufs : prepared) recycle(std::move(bufs));
+  for (PredictRequest& r : batch) recycle(std::move(r.inputs));
 }
 
 void Batcher::run() {

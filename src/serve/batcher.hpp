@@ -26,6 +26,7 @@
 #include "serve/fault.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/metrics.hpp"
+#include "serve/rep_pool.hpp"
 #include "serve/request_queue.hpp"
 
 namespace dnnspmv {
@@ -33,10 +34,13 @@ namespace dnnspmv {
 class Batcher {
  public:
   /// `injector` scopes fault injection (null → the process-global one), so
-  /// a router can make exactly one replica's workers unhealthy.
+  /// a router can make exactly one replica's workers unhealthy. `pool`
+  /// (optional) receives every served request's input buffers back for
+  /// reuse — the release half of the miss path's allocation-free loop.
   Batcher(const FormatSelector& selector, RequestQueue& queue,
           PredictionCache& cache, ServiceMetrics& metrics,
-          std::size_t max_batch, fault::Injector* injector = nullptr);
+          std::size_t max_batch, fault::Injector* injector = nullptr,
+          RepBufferPool* pool = nullptr);
 
   /// Worker loop; returns when the queue is closed and fully drained.
   /// Never throws: inference failures are forwarded to the waiting
@@ -56,6 +60,7 @@ class Batcher {
   ServiceMetrics& metrics_;
   std::size_t max_batch_;
   fault::Injector* injector_;
+  RepBufferPool* pool_;  // may be null (no recycling)
 };
 
 }  // namespace dnnspmv

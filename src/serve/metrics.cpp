@@ -52,7 +52,8 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* reg)
       queue_depth_(reg_->gauge(prefix_ + "queue_depth")),
       latency_(reg_->histogram(prefix_ + "latency_us")),
       queue_wait_(reg_->histogram(prefix_ + "queue_wait_us")),
-      batch_size_(reg_->histogram(prefix_ + "batch_size")) {}
+      batch_size_(reg_->histogram(prefix_ + "batch_size")),
+      rep_build_(reg_->histogram(prefix_ + "rep_build_us")) {}
 
 void ServiceMetrics::record_batch(std::size_t batch_size) {
   batches_.inc();
@@ -78,6 +79,7 @@ ServiceStats ServiceMetrics::snapshot(std::uint64_t cache_entries) const {
   s.max_batch = static_cast<std::uint64_t>(max_batch_.value());
   s.cache_entries = cache_entries;
   s.latency = latency_.snapshot().buckets;
+  s.rep_build = rep_build_.snapshot();
   return s;
 }
 

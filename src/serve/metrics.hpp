@@ -43,6 +43,10 @@ struct ServiceStats {
   std::uint64_t max_batch = 0;       // largest coalesced batch seen
   std::uint64_t cache_entries = 0;   // live cache entries at snapshot time
   std::array<std::uint64_t, kLatencyBuckets> latency{};  // bucket counts
+  // Miss-path representation-build time (the serve.prepare_inputs work),
+  // microsecond buckets like `latency`. Counts one observation per
+  // admitted miss that built inputs in the client thread.
+  obs::Histogram::Snapshot rep_build;
 
   /// Fraction of requests that received a prediction (from the cache, the
   /// CNN, or the degraded path) rather than a deadline failure. Rejected
@@ -108,6 +112,11 @@ class ServiceMetrics {
 
   void record_batch(std::size_t batch_size);
   void record_latency(double seconds) { latency_.observe_seconds(seconds); }
+  /// Time the client thread spent building CNN representations for one
+  /// admitted miss (the streaming builder's build_into call).
+  void record_rep_build(double seconds) {
+    rep_build_.observe_seconds(seconds);
+  }
   /// Time a request spent queued before a worker popped it.
   void record_queue_wait(double seconds) {
     queue_wait_.observe_seconds(seconds);
@@ -142,6 +151,7 @@ class ServiceMetrics {
   obs::Histogram& latency_;
   obs::Histogram& queue_wait_;
   obs::Histogram& batch_size_;
+  obs::Histogram& rep_build_;
 };
 
 }  // namespace dnnspmv

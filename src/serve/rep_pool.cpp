@@ -1,0 +1,31 @@
+#include "serve/rep_pool.hpp"
+
+#include <utility>
+
+namespace dnnspmv {
+
+RepBufferPool::RepBufferPool(std::size_t cap) : cap_(cap) {
+  pool_.reserve(cap);
+}
+
+std::vector<Tensor> RepBufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_.empty()) return {};
+  std::vector<Tensor> out = std::move(pool_.back());
+  pool_.pop_back();
+  return out;
+}
+
+void RepBufferPool::release(std::vector<Tensor>&& bufs) {
+  if (bufs.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_.size() >= cap_) return;  // at cap: let `bufs` free on return
+  pool_.push_back(std::move(bufs));
+}
+
+std::size_t RepBufferPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.size();
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,54 @@
+// Recycled CNN-input buffers for the miss path.
+//
+// A cache miss materializes one std::vector<Tensor> of representations in
+// the client thread, hands it through the request queue to a worker, and
+// historically dropped it after the forward pass — a fresh set of heap
+// allocations per miss. RepBufferPool closes the loop: submitters acquire
+// a recycled buffer set (tensors keep their capacity from previous
+// requests, so the streaming builder's ensure2() re-shapes without
+// touching the heap), and the Batcher releases the set back here once the
+// batch has been assembled. At steady state the pool supplies every miss
+// and the rep build allocates nothing.
+//
+// The pool is deliberately tiny and boring: a mutex-guarded stack with a
+// capacity cap. Releases beyond the cap free the buffers instead of
+// pooling them, which bounds memory when foreign buffers flow in (the
+// router's hedge path hands submit_prepared() buffers this pool never
+// issued).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dnnspmv {
+
+class RepBufferPool {
+ public:
+  /// `cap` bounds how many buffer sets the pool will hold (excess releases
+  /// are freed). 0 disables pooling entirely — acquire always returns a
+  /// fresh empty set and release always frees.
+  explicit RepBufferPool(std::size_t cap);
+
+  /// A recycled buffer set, or an empty one when the pool is dry. The
+  /// tensors inside (if any) hold stale shapes and contents; producers
+  /// must ensure2() + overwrite, which the streaming builder does.
+  std::vector<Tensor> acquire();
+
+  /// Returns a buffer set for reuse (freed if the pool is at capacity).
+  void release(std::vector<Tensor>&& bufs);
+
+  /// Buffer sets currently pooled (diagnostics/tests).
+  std::size_t size() const;
+
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<Tensor>> pool_;
+};
+
+}  // namespace dnnspmv

@@ -9,6 +9,7 @@
 #include "obs/trace.hpp"
 #include "serve/affinity.hpp"
 #include "serve/fingerprint.hpp"
+#include "tensor/arena.hpp"
 
 namespace dnnspmv {
 namespace {
@@ -54,8 +55,14 @@ SelectionService::SelectionService(const FormatSelector& selector,
       injector_(opts.injector ? opts.injector : &fault::Injector::global()),
       cache_(opts.cache_capacity, opts.cache_shards),
       queue_(opts.queue_capacity),
+      // Enough pooled buffer sets to cover every request that can be in
+      // flight at once (queued + being batched per worker), so a loaded
+      // steady state never finds the pool dry.
+      rep_pool_(opts.queue_capacity +
+                static_cast<std::size_t>(std::max(opts.num_workers, 1)) *
+                    opts.max_batch),
       batcher_(selector_, queue_, cache_, metrics_, opts.max_batch,
-               injector_) {
+               injector_, &rep_pool_) {
   DNNSPMV_CHECK_ERRC(selector.trained(), errc::not_trained,
                      "SelectionService needs a trained FormatSelector");
   DNNSPMV_CHECK_ERRC(opts.num_workers > 0, errc::invalid_argument,
@@ -171,7 +178,10 @@ std::future<std::int32_t> SelectionService::submit(
   req.fingerprint = fp;
   {
     obs::Span span("serve.prepare_inputs");
-    req.inputs = selector_.prepare_inputs(a);
+    Timer timer;
+    req.inputs = rep_pool_.acquire();
+    selector_.rep_builder().build_into(a, thread_arena(), req.inputs);
+    metrics_.record_rep_build(timer.seconds());
   }
   return enqueue(std::move(req), st, deadline);
 }
@@ -188,7 +198,10 @@ std::future<std::int32_t> SelectionService::submit_fingerprinted(
   req.fingerprint = fp;
   {
     obs::Span span("serve.prepare_inputs");
-    req.inputs = selector_.prepare_inputs(a);
+    Timer timer;
+    req.inputs = rep_pool_.acquire();
+    selector_.rep_builder().build_into(a, thread_arena(), req.inputs);
+    metrics_.record_rep_build(timer.seconds());
   }
   if (retain_inputs) *retain_inputs = req.inputs;  // hedge copy
   req.done = std::move(done);

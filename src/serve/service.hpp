@@ -83,6 +83,7 @@
 #include "serve/batcher.hpp"
 #include "serve/fallback.hpp"
 #include "serve/fault.hpp"
+#include "serve/rep_pool.hpp"
 
 namespace dnnspmv {
 
@@ -198,6 +199,10 @@ class SelectionService {
   /// router polls for its per-replica depth gauges.
   std::size_t queue_depth() const { return queue_.approx_size(); }
 
+  /// The recycled CNN-input buffer pool behind the miss path (tests assert
+  /// its steady-state behaviour through this).
+  const RepBufferPool& rep_pool() const { return rep_pool_; }
+
  private:
   /// Immediate fallback answer for a shed miss (stats already computed).
   /// Consumes `done` (fires it with the degraded answer) when set.
@@ -226,6 +231,8 @@ class SelectionService {
   PredictionCache cache_;
   RequestQueue queue_;
   ServiceMetrics metrics_;
+  RepBufferPool rep_pool_;  // must precede batcher_ (the batcher recycles
+                            // served input buffers into it)
   Batcher batcher_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};

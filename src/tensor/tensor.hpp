@@ -33,6 +33,16 @@ class Tensor {
   /// memset-free.
   void ensure(std::vector<std::int64_t> shape);
 
+  /// ensure({r, c}) without materializing a shape vector at the call site —
+  /// the warm-path no-op costs two integer compares and zero allocations
+  /// (the vector overload allocates its argument even when nothing
+  /// changes). The streaming representation builder's steady state is built
+  /// on this.
+  void ensure2(std::int64_t r, std::int64_t c) {
+    if (shape_.size() == 2 && shape_[0] == r && shape_[1] == c) return;
+    resize({r, c});
+  }
+
   const std::vector<std::int64_t>& shape() const { return shape_; }
   std::int64_t dim(std::size_t i) const { return shape_.at(i); }
   std::size_t rank() const { return shape_.size(); }

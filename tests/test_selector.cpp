@@ -85,19 +85,19 @@ TEST(Selector, PredictBeforeFitThrows) {
   EXPECT_THROW(sel.predict(a), std::runtime_error);
 }
 
-TEST(Selector, DeprecatedSizeAliasesShareStorage) {
+TEST(Selector, GeometryOptionsRoundTrip) {
+  // The size1/size2 deprecation window is over: rep_rows/rep_bins are the
+  // only names, and they flow from options into the selector unchanged.
   SelectorOptions opts;
   opts.rep_rows = 24;
   opts.rep_bins = 12;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(opts.size1, 24);
-  EXPECT_EQ(opts.size2, 12);
-  opts.size1 = 40;  // pre-rename callers keep compiling for one release
-  opts.size2 = 20;
-#pragma GCC diagnostic pop
-  EXPECT_EQ(opts.rep_rows, 40);
-  EXPECT_EQ(opts.rep_bins, 20);
+  opts.rep_sample_nnz = 4096;
+  const FormatSelector sel(opts);
+  EXPECT_EQ(sel.options().rep_rows, 24);
+  EXPECT_EQ(sel.options().rep_bins, 12);
+  EXPECT_EQ(sel.options().rep_sample_nnz, 4096);
+  EXPECT_EQ(sel.rep_builder().options().rep_rows, 24);
+  EXPECT_EQ(sel.rep_builder().options().sample_nnz, 4096);
 }
 
 TEST(Selector, MigrationKeepsCandidates) {
