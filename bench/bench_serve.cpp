@@ -15,14 +15,46 @@
 // Flags (besides the shared ones; small defaults keep this quick):
 //   --pool <p>      distinct matrices in the workload     (default 48)
 //   --requests <r>  total prediction requests per run     (default 1500)
-//   --threads <t>   comma list of client-thread counts    (default 1,2,4,8)
+//   --threads <t>   comma list of client-thread counts    (default: powers
+//                   of two up to hardware_concurrency — closed-loop client
+//                   counts past the core count measure scheduler contention,
+//                   not the service; see the sweep note below)
 //   --batch <b>     comma list of max_batch values        (default 1,8,32)
 //   --overload <0|1>  run the overload scenario            (default 1)
 //   --replicas <r>  comma list of ReplicaRouter sizes for the scaling
 //                   sweep (default 1,2,4,8; 0 disables the sweep)
 //   --straggler <0|1>  run the straggler/hedging scenario  (default 1)
+//   --online-drift <0|1>  run ONLY the online-learning drift scenario and
+//                   write BENCH_online.json (default 0; see below)
 //   --json <path>   machine-readable results              (default BENCH_serve.json)
 //   --trace <path>  chrome://tracing dump of the traced run (default: off)
+//
+// Thread-sweep note (ISSUE 8): earlier BENCH_serve.json runs showed 1
+// client thread beating 4 (25.4k vs 18.0k req/s). That was not the
+// service regressing under concurrency — the bench host has one hardware
+// thread, so 4 closed-loop clients + 2 workers oversubscribed a single
+// core and the sweep measured context-switch thrash (p99 256µs → 4096µs
+// while hit rate stayed 97%+). Two fixes: the default sweep now stops at
+// hardware_concurrency (explicit --threads still sweeps anything), and
+// RequestQueue gates its condvar notifies on the parked-waiter count so a
+// push no longer pays a futex wake (and on a saturated box, a preemption)
+// when every worker is already runnable.
+//
+// Online-drift scenario (ISSUE 8): a selector trained on platform A's
+// labels serves traffic whose feedback probe measures platform B (same
+// candidate formats, different argmin distribution — the paper's §6
+// cross-platform migration, arriving as live drift). The closed loop is
+// FeedbackCollector → OnlineTrainer::train_once → ModelRegistry.publish →
+// subscriber hot-swap. Gates, written to BENCH_online.json:
+//   accept_drift_recovery    — within ≤5 published versions, accuracy on
+//                              B-labeled data is within 1pt of a selector
+//                              freshly trained on B;
+//   accept_drift_availability— every request answered during the drift
+//                              run (swaps never drop or fail traffic);
+//   accept_swap_overhead_1pct— steady-state cached throughput with a
+//                              publisher hammering new versions is within
+//                              1% of the no-publish baseline (best-of-5,
+//                              after a discarded warm-up pair).
 //
 // After the sweep, the best configuration is re-run with span tracing on
 // to measure the observability overhead (ISSUE 3 budget: <5%); BENCH_serve
@@ -58,9 +90,12 @@
 #include "bench_common.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/online.hpp"
+#include "gen/corpus.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "serve/fault.hpp"
+#include "serve/feedback.hpp"
 #include "serve/router.hpp"
 #include "serve/service.hpp"
 
@@ -328,16 +363,276 @@ StragglerRun run_straggler(const FormatSelector& sel,
   return r;
 }
 
+// Fraction of `labeled` whose measured-argmin label the selector hits.
+double selector_accuracy(const FormatSelector& sel,
+                         const std::vector<LabeledMatrix>& labeled) {
+  std::size_t ok = 0;
+  for (const LabeledMatrix& lm : labeled)
+    if (sel.predict_index(*lm.matrix) == lm.label) ++ok;
+  return labeled.empty() ? 0.0
+                         : static_cast<double>(ok) /
+                               static_cast<double>(labeled.size());
+}
+
+// Steady-state throughput of a registry-backed service, optionally with a
+// publisher re-publishing the model on a fixed cadence. The workload is
+// mostly cache hits plus a trickle of never-seen matrices (one per 200
+// requests) — the misses matter: a parked worker only adopts a published
+// version when a miss wakes it, and adoption is what makes swaps cost
+// anything (one O(#params) clone, plus the version-keyed cache entries of
+// the hot pool re-predicting under the new version). An all-hit workload
+// would price swaps at zero by construction; all-miss would price the CNN,
+// not the swap. The with/without-publisher pair on the same workload
+// isolates the swap machinery.
+double run_swap_throughput(ModelRegistry& registry, const Workload& w,
+                           const std::vector<Csr>& fresh_stream,
+                           int churn_period_ms) {
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 8;
+  opts.cache_capacity = 4096;
+  SelectionService service(registry, opts);
+  for (const Csr& m : w.pool) (void)service.predict_index(m);  // warm cache
+
+  std::atomic<bool> stop{false};
+  std::thread publisher;
+  if (churn_period_ms > 0) {
+    publisher = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        registry.publish(registry.current()->clone());
+        for (int waited = 0;
+             waited < churn_period_ms && !stop.load(std::memory_order_relaxed);
+             waited += 5)
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+  std::size_t fresh_i = 0;
+  std::size_t served = 0;
+  Timer t;
+  for (std::size_t i = 0; i < w.order.size(); ++i) {
+    if (i % 200 == 199 && fresh_i < fresh_stream.size()) {
+      (void)service.predict_index(fresh_stream[fresh_i++]);
+      ++served;
+    }
+    (void)service.predict_index(w.pool[w.order[i]]);
+    ++served;
+  }
+  const double req_s = static_cast<double>(served) / t.seconds();
+  stop.store(true, std::memory_order_relaxed);
+  if (publisher.joinable()) publisher.join();
+  return req_s;
+}
+
+int run_online_drift(BenchConfig cfg, const std::string& json_path) {
+  std::printf("== bench_serve --online-drift: feedback -> trainer -> "
+              "registry -> hot swap ==\n");
+  cfg.min_dim = 48;
+  cfg.max_dim = 256;
+
+  // Platform A trains the boot model; platform B is what the feedback
+  // probe measures — same candidate formats, drifted label distribution.
+  const auto plat_a = make_analytic_cpu(intel_xeon_params());
+  const auto plat_b = make_analytic_cpu(amd_a8_params());
+  const LabeledCorpus on_a = make_labeled_corpus(cfg, *plat_a);
+  const LabeledCorpus on_b = make_labeled_corpus(cfg, *plat_b);
+  DNNSPMV_CHECK(plat_a->formats() == plat_b->formats());
+
+  SelectorOptions sopts;
+  sopts.mode = RepMode::kHistogram;
+  sopts.rep_rows = cfg.size;
+  sopts.rep_bins = cfg.bins;
+  sopts.train.epochs = std::min(cfg.epochs, 8);
+  FormatSelector boot(sopts);
+  boot.fit(on_a.labeled, plat_a->formats());
+
+  // The recovery target: the same architecture trained from scratch on
+  // B's labels — what an offline redeploy would ship.
+  FormatSelector fresh(sopts);
+  fresh.fit(on_b.labeled, plat_b->formats());
+  const double fresh_acc = selector_accuracy(fresh, on_b.labeled);
+  const double drift_share = [&] {
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < on_a.labeled.size(); ++i)
+      moved += on_a.labeled[i].label != on_b.labeled[i].label;
+    return static_cast<double>(moved) /
+           static_cast<double>(on_a.labeled.size());
+  }();
+
+  ModelRegistry registry(boot.clone());
+  FeedbackCollector feedback({.capacity = 1024, .sample_every = 1,
+                              .measure_reps = 1});
+  ServiceOptions so;
+  so.num_workers = 2;
+  so.feedback = &feedback;
+  // Probe platform B analytically instead of timing this host's kernels:
+  // the drifted label distribution is scripted, so the bench is
+  // deterministic and runs in CI smoke time.
+  so.feedback_probe = [&](const Csr& a) { return plat_b->spmv_times(a); };
+  SelectionService service(registry, so);
+
+  OnlineTrainerOptions topts;
+  topts.min_batch = 32;
+  topts.replay_capacity = 512;
+  OnlineTrainer trainer(registry, feedback, topts);
+
+  const double boot_acc = selector_accuracy(*registry.current(), on_b.labeled);
+  std::printf("label drift A->B: %.0f%% of corpus; accuracy on B: "
+              "boot %.1f%% fresh %.1f%%\n",
+              100.0 * drift_share, 100.0 * boot_acc, 100.0 * fresh_acc);
+
+  // Serve the corpus in slices of distinct matrices (all misses → every
+  // request is feedback-eligible), stepping one deterministic training
+  // round per slice. Recovery = within 1pt of the fresh model, within 5
+  // published versions.
+  constexpr int kMaxVersions = 5;
+  constexpr std::size_t kSlice = 48;
+  std::size_t submitted = 0, answered = 0, cursor = 0;
+  double acc = boot_acc;
+  int versions = 0;
+  bool recovered = acc >= fresh_acc - 0.01;
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "online_drift");
+  json.field("corpus", static_cast<std::int64_t>(on_b.labeled.size()));
+  json.field("label_drift_share", drift_share);
+  json.field("boot_accuracy_on_b", boot_acc);
+  json.field("fresh_accuracy_on_b", fresh_acc);
+  json.begin_array("versions");
+  // Rounds are bounded independently of versions: once the corpus wraps,
+  // slices are all cache hits, produce no feedback, and publish nothing —
+  // without the bound a non-recovering model would spin here forever.
+  for (int round = 0; !recovered && versions < kMaxVersions &&
+                      round < 2 * kMaxVersions;
+       ++round) {
+    for (std::size_t i = 0; i < kSlice; ++i) {
+      const Csr& a = on_b.corpus[cursor % on_b.corpus.size()].matrix;
+      ++cursor;
+      ++submitted;
+      try {
+        (void)service.predict_index(a);
+        ++answered;
+      } catch (const DnnspmvError&) {
+        // counted against availability below
+      }
+    }
+    if (!trainer.train_once()) continue;  // slice was all cache hits
+    ++versions;
+    acc = selector_accuracy(*registry.current(), on_b.labeled);
+    recovered = acc >= fresh_acc - 0.01;
+    std::printf("version %llu (round %d): accuracy on B %.1f%% "
+                "(fresh %.1f%%, consumed %llu samples)\n",
+                static_cast<unsigned long long>(registry.version()),
+                versions, 100.0 * acc, 100.0 * fresh_acc,
+                static_cast<unsigned long long>(trainer.consumed()));
+    json.begin_object();
+    json.field("version",
+               static_cast<std::int64_t>(registry.version()));
+    json.field("accuracy_on_b", acc);
+    json.end_object();
+  }
+  json.end_array();
+  const double availability =
+      submitted == 0 ? 1.0
+                     : static_cast<double>(answered) /
+                           static_cast<double>(submitted);
+
+  // Hot-swap price at steady state: the same mostly-hit workload with a
+  // publisher landing a new version every 2 s (an aggressive cadence for
+  // an online fine-tune loop — rounds are gated on fresh feedback, which
+  // warm caches starve) vs. no publishes at all. A discarded warm-up pair
+  // then interleaved best-of-5: at a 1% gate, best-of-3 still loses to
+  // scheduler noise on a busy single-core host (~1.5% run-to-run swings).
+  // The fresh-matrix trickle keeps workers adopting (see
+  // run_swap_throughput).
+  const Workload w = make_workload(on_b.corpus, 48, 100'000, cfg.seed);
+  const std::vector<Csr> fresh_stream = [&] {
+    CorpusSpec fs;
+    fs.count = static_cast<std::int64_t>(w.order.size() / 200);
+    fs.min_dim = 48;
+    fs.max_dim = 160;
+    fs.seed = cfg.seed + 1;
+    std::vector<Csr> out;
+    for (CorpusEntry& e : build_corpus(fs))
+      out.push_back(std::move(e.matrix));
+    return out;
+  }();
+  double quiet = 0.0, churn = 0.0;
+  run_swap_throughput(registry, w, fresh_stream, 0);     // warm-up, discarded
+  run_swap_throughput(registry, w, fresh_stream, 2000);  // warm-up, discarded
+  for (int i = 0; i < 5; ++i) {
+    quiet = std::max(quiet,
+                     run_swap_throughput(registry, w, fresh_stream, 0));
+    churn = std::max(churn,
+                     run_swap_throughput(registry, w, fresh_stream, 2000));
+  }
+  const double overhead_pct = 100.0 * (1.0 - churn / quiet);
+  const std::uint64_t churn_versions = registry.version();
+
+  const bool met_recovery = recovered && versions <= kMaxVersions;
+  const bool met_availability = availability >= 1.0;
+  const bool met_overhead = overhead_pct < 1.0;
+  std::printf("\nrecovered: %s (%.1f%% vs fresh %.1f%%, %d version(s), "
+              "%zu requests, availability %.1f%%)\n",
+              recovered ? "yes" : "NO", 100.0 * acc, 100.0 * fresh_acc,
+              versions, submitted, 100.0 * availability);
+  std::printf("hot-swap overhead: %.0f req/s quiet, %.0f req/s with "
+              "publish-every-2s churn (%.2f%%, %llu versions published)\n",
+              quiet, churn, overhead_pct,
+              static_cast<unsigned long long>(churn_versions));
+
+  json.field("final_accuracy_on_b", acc);
+  json.field("versions_to_recover", versions);
+  json.field("requests", static_cast<std::int64_t>(submitted));
+  json.field("availability", availability);
+  json.field("samples_consumed", trainer.consumed());
+  json.field("quiet_req_s", quiet);
+  json.field("churn_req_s", churn);
+  json.field("swap_overhead_pct", overhead_pct);
+  json.field("churn_versions_published",
+             static_cast<std::int64_t>(churn_versions));
+  json.field("accept_drift_recovery", met_recovery);
+  json.field("accept_drift_availability", met_availability);
+  json.field("accept_swap_overhead_1pct", met_overhead);
+  json.end_object();
+  if (json.write_file(json_path))
+    std::printf("wrote %s\n", json_path.c_str());
+  std::printf("\nacceptance: drift recovery <= %d versions within 1pt: %s; "
+              "availability 100%%: %s; swap overhead < 1%%: %s\n",
+              kMaxVersions, met_recovery ? "PASS" : "FAIL",
+              met_availability ? "PASS" : "FAIL",
+              met_overhead ? "PASS" : "FAIL");
+  return met_recovery && met_availability && met_overhead ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchConfig cfg = parse_common(cli);
   if (cfg.n == 900) cfg.n = 160;  // shrink the shared default: training is
                                   // only setup here, serving is the subject
+  const bool online_drift = cli.get_int("online-drift", 0) != 0;
+  if (online_drift) {
+    const std::string online_json =
+        cli.get_string("json", "BENCH_online.json");
+    cli.check_unused();
+    return run_online_drift(cfg, online_json);
+  }
   const auto pool_size = static_cast<std::size_t>(cli.get_int("pool", 48));
   const auto requests =
       static_cast<std::size_t>(cli.get_int("requests", 1500));
+  // Default sweep stops at the host's core count: closed-loop clients are
+  // CPU-bound request generators, so counts past hardware_concurrency
+  // only measure oversubscription (see the header note). An explicit
+  // --threads list is swept verbatim.
+  const std::string default_threads = [] {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::string s;
+    for (unsigned t = 1; t <= hw && t <= 8; t *= 2)
+      s += (s.empty() ? "" : ",") + std::to_string(t);
+    return s;
+  }();
   const std::vector<int> threads =
-      parse_int_list(cli.get_string("threads", "1,2,4,8"));
+      parse_int_list(cli.get_string("threads", default_threads));
   const std::vector<int> batches =
       parse_int_list(cli.get_string("batch", "1,8,32"));
   const bool overload = cli.get_int("overload", 1) != 0;

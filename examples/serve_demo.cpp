@@ -3,12 +3,21 @@
 // threads, then read the metrics block.
 //
 //   ./serve_demo [--clients 4] [--requests 400] [--replicas 0]
-//                [--trace trace.json]
+//                [--online 0] [--trace trace.json]
 //
 // --replicas 0 (default) serves through a single SelectionService; N >= 1
 // builds a ReplicaRouter with N replicas (consistent-hash sharding, NUMA-
 // aware worker pinning, hedged re-dispatch) and reports per-replica
 // hit-rate/depth plus the router's hedge counters at exit.
+//
+// --online 1 closes the learning loop (single-service mode): the service
+// publishes sampled cache misses to a FeedbackCollector — here probed
+// against a *different* analytic platform than the one the selector was
+// trained on, so the measured labels have drifted — and a background
+// OnlineTrainer fine-tunes and publishes new versions to the service's
+// ModelRegistry, which workers hot-swap to between micro-batches. The
+// exit block reports versions published, hot swaps observed, and feedback
+// stream accounting.
 //
 // With --trace, span tracing is enabled for the serving phase and a
 // chrome://tracing / Perfetto-loadable dump of every request's pipeline
@@ -18,9 +27,11 @@
 #include <thread>
 
 #include "common/cli.hpp"
+#include "core/online.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "perf/labels.hpp"
+#include "serve/feedback.hpp"
 #include "serve/router.hpp"
 #include "serve/service.hpp"
 
@@ -32,8 +43,13 @@ int main(int argc, char** argv) {
   const auto requests =
       static_cast<std::size_t>(cli.get_int("requests", 400));
   const int replicas = static_cast<int>(cli.get_int("replicas", 0));
+  const bool online = cli.get_int("online", 0) != 0;
   const std::string trace_path = cli.get_string("trace", "");
   cli.check_unused();
+  if (online && replicas > 0) {
+    std::printf("--online demos the single-service loop; ignoring "
+                "--replicas %d\n", replicas);
+  }
 
   // 1. A small trained selector (the usual offline pipeline).
   std::printf("training selector...\n");
@@ -61,7 +77,32 @@ int main(int argc, char** argv) {
   opts.cache_capacity = 1024;
   std::unique_ptr<SelectionService> service;
   std::unique_ptr<ReplicaRouter> router;
-  if (replicas > 0) {
+  std::unique_ptr<ModelRegistry> registry;
+  std::unique_ptr<FeedbackCollector> feedback;
+  std::unique_ptr<OnlineTrainer> trainer;
+  const auto drifted = make_analytic_cpu(amd_a8_params());
+  if (online) {
+    // The learning loop: sampled misses are probed against a platform the
+    // selector was NOT trained on (drifted labels), the trainer fine-tunes
+    // in the background, and workers hot-swap to each published version.
+    registry = std::make_unique<ModelRegistry>(selector.clone());
+    feedback = std::make_unique<FeedbackCollector>(
+        FeedbackOptions{.capacity = 256, .sample_every = 1,
+                        .measure_reps = 1});
+    opts.feedback = feedback.get();
+    opts.feedback_probe = [&drifted](const Csr& m) {
+      return drifted->spmv_times(m);
+    };
+    service = std::make_unique<SelectionService>(*registry, opts);
+    OnlineTrainerOptions topts;
+    topts.min_batch = 32;
+    topts.poll_interval_ms = 20;
+    trainer = std::make_unique<OnlineTrainer>(*registry, *feedback, topts);
+    trainer->start();
+    std::printf("online loop armed: feedback probe measures a drifted "
+                "platform, trainer polls every %lld ms\n",
+                static_cast<long long>(topts.poll_interval_ms));
+  } else if (replicas > 0) {
     RouterOptions ropts;
     ropts.replicas = replicas;
     ropts.service = opts;
@@ -101,6 +142,28 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& w : workers) w.join();
+
+  if (online) {
+    // The poll loop may not have caught the tail of the feedback stream
+    // before the clients finished — stop it and flush the backlog into
+    // one deterministic final round, then serve a second wave so the hot
+    // swap shows up in the serving stats (workers adopt the new version
+    // between micro-batches; nothing pauses).
+    trainer->stop();
+    if (trainer->train_once())
+      std::printf("published fine-tuned version %llu; serving second "
+                  "wave...\n",
+                  static_cast<unsigned long long>(registry->version()));
+    // Fresh matrices so the wave misses the cache: a miss is what wakes a
+    // worker, and a woken worker is what adopts the new version (cached
+    // answers keep flowing from the pinned version until then — that's
+    // the no-pause contract, not a bug).
+    CorpusSpec wave2 = spec;
+    wave2.count = 60;
+    wave2.seed = spec.seed + 1;
+    for (const CorpusEntry& e : build_corpus(wave2))
+      (void)predict(e.matrix);
+  }
 
   // 4. What the metrics block saw.
   if (router) {
@@ -144,6 +207,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.rep_build.count));
     std::printf("cache entries %llu\n",
                 static_cast<unsigned long long>(s.cache_entries));
+    if (online) {
+      trainer->stop();  // finish any round in flight before reading stats
+      std::printf("\n-- online loop --\n");
+      std::printf("feedback      %llu samples published, %llu dropped\n",
+                  static_cast<unsigned long long>(feedback->published()),
+                  static_cast<unsigned long long>(feedback->dropped()));
+      std::printf("trainer       %llu rounds, %llu samples consumed, "
+                  "%llu versions published\n",
+                  static_cast<unsigned long long>(trainer->rounds()),
+                  static_cast<unsigned long long>(trainer->consumed()),
+                  static_cast<unsigned long long>(trainer->published()));
+      std::printf("model         serving version %llu after %llu hot "
+                  "swap(s); registry at version %llu\n",
+                  static_cast<unsigned long long>(s.model_version),
+                  static_cast<unsigned long long>(s.model_swaps),
+                  static_cast<unsigned long long>(registry->version()));
+    }
   }
 
   // 5. Optional observability dump: the spans as a chrome://tracing

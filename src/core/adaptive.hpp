@@ -16,9 +16,11 @@
 // scope the memoization (e.g. per tenant), or nullptr to disable it.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "core/selector.hpp"
+#include "serve/feedback.hpp"
 #include "serve/lru_cache.hpp"
 #include "sparse/spmv.hpp"
 
@@ -33,6 +35,17 @@ class AdaptiveSpmv {
   /// Same, against a caller-owned cache; nullptr disables memoization.
   AdaptiveSpmv(const FormatSelector& selector, const Csr& matrix,
                PredictionCache* cache);
+
+  /// Same, and closes the online-learning loop: when `feedback` is
+  /// non-null and its sampling gate admits this matrix, the FIRST apply()
+  /// additionally measures SpMV across all candidate formats and
+  /// publishes (fingerprint, representation, measured times) to the
+  /// stream — ground-truth labels from exactly the traffic this operator
+  /// serves. The probe runs once per AdaptiveSpmv (a retained matrix copy
+  /// is released afterwards); unsampled instances pay one atomic
+  /// increment at construction and nothing per apply.
+  AdaptiveSpmv(const FormatSelector& selector, const Csr& matrix,
+               PredictionCache* cache, FeedbackCollector* feedback);
 
   /// No prediction: stores the matrix in `format` (CSR fallback applies).
   AdaptiveSpmv(const Csr& matrix, Format format);
@@ -66,6 +79,8 @@ class AdaptiveSpmv {
   static PredictionCache& shared_prediction_cache();
 
  private:
+  struct Probe;  // deferred first-apply feedback probe (defined in .cpp)
+
   static AnyFormatMatrix convert_or_csr(const Csr& matrix, Format format,
                                         bool& fell_back);
 
@@ -74,6 +89,7 @@ class AdaptiveSpmv {
   bool cache_hit_ = false;
   double prediction_seconds_ = 0.0;
   double conversion_seconds_ = 0.0;
+  std::shared_ptr<Probe> probe_;  // null unless sampled for feedback
 };
 
 }  // namespace dnnspmv

@@ -1,0 +1,144 @@
+// ModelRegistry — versioned, immutable model snapshots with RCU-style
+// hot swap (ROADMAP: close the loop / in-service platform migration).
+//
+// The registry is the single publication path between whoever produces
+// models (offline training, the OnlineTrainer's fine-tune loop) and
+// whoever serves them (SelectionService workers, ReplicaRouter replicas):
+//
+//   publisher                      registry                 subscribers
+//   ─────────                      ────────                 ───────────
+//   fine-tuned FormatSelector ──→ publish():                ModelSubscription
+//                                  validate compat           per replica
+//                                  stamp version N+1            │
+//                                  swap shared_ptr        stale()? lock-free
+//                                  (writers never block       │ version check
+//                                   readers, readers       adopt: clone the
+//                                   never block writers)   snapshot, swap the
+//                                                          local shared_ptr
+//
+// Versions are immutable: a published FormatSelector is never trained or
+// mutated again; fine-tuning always builds a fresh network (see
+// core/online.hpp). Readers hold plain shared_ptr snapshots, so a version
+// stays alive for as long as any in-flight batch still runs on it — the
+// RCU grace period is reference counting, no epochs, no quiescent states.
+//
+// Hot-path contract: checking for staleness is one relaxed atomic load
+// (version()); nothing on a serving hot path ever takes the registry
+// mutex. current()/publish()/adoption take a mutex, but they run only
+// when a new version actually appears — a rare, cold event.
+//
+// Why subscribers clone instead of sharing the published object: MergeNet
+// keeps per-forward scratch, so inference serializes on a per-selector
+// mutex (selector.hpp). N replicas sharing one published instance would
+// collapse into one inference lane. ModelSubscription therefore adopts by
+// cloning — one O(#params) copy per subscriber per published version —
+// keeping replicas' lanes independent while the *publication path* (which
+// weights, which version) stays single-sourced, replacing the divergent
+// clone()-per-replica ownership the router used before.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/selector.hpp"
+#include "obs/metrics.hpp"
+
+namespace dnnspmv {
+
+class ModelRegistry {
+ public:
+  /// Takes ownership of the boot model (must be trained) as version 1.
+  explicit ModelRegistry(FormatSelector initial);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// The newest published snapshot. Immutable; safe to call concurrently
+  /// with publish(). Cold path — subscribers only call this after a
+  /// lock-free version() check says their snapshot is stale.
+  std::shared_ptr<const FormatSelector> current() const;
+
+  /// Version of the newest snapshot (monotonic from 1). One relaxed
+  /// atomic load — the hot-path staleness probe.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes `next` as the new current version and returns its version
+  /// number. Validates that `next` is trained and interface-compatible
+  /// with the boot model (same candidates, same representation geometry):
+  /// serving layers cache candidates and representation builders across
+  /// swaps, so an incompatible model must be a new registry, not a new
+  /// version. Throws DnnspmvError(errc::invalid_argument) on mismatch.
+  std::uint64_t publish(FormatSelector next);
+
+  /// Versions published through publish() (excludes the boot model).
+  std::uint64_t published_count() const { return published_.value(); }
+
+  /// Candidates / options of the version-1 model; fixed for the registry's
+  /// lifetime by the publish() compatibility check.
+  const std::vector<Format>& candidates() const { return candidates_; }
+  const SelectorOptions& options() const { return options_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const FormatSelector> current_;  // guarded by mu_
+  std::atomic<std::uint64_t> version_{0};
+
+  std::vector<Format> candidates_;  // pinned at construction
+  SelectorOptions options_;
+
+  std::string prefix_;       // "registry<N>." in the global obs registry
+  obs::Gauge& version_gauge_;
+  obs::Counter& published_;
+};
+
+/// One subscriber's RCU read side: a privately-owned clone of the
+/// registry's current version, refreshed on demand. stale() is the
+/// lock-free hot-path probe; model() swaps in a fresh clone only when a
+/// new version was published (cold). Snapshots returned by model() pin
+/// their version: an in-flight batch keeps its shared_ptr and finishes on
+/// the version it started with, even while the subscription moves on.
+class ModelSubscription {
+ public:
+  explicit ModelSubscription(ModelRegistry& registry);
+
+  ModelSubscription(const ModelSubscription&) = delete;
+  ModelSubscription& operator=(const ModelSubscription&) = delete;
+
+  /// True when the registry has published a version this subscription has
+  /// not adopted yet. One relaxed load; never blocks.
+  bool stale() const {
+    return registry_.version() != version_.load(std::memory_order_relaxed);
+  }
+
+  /// The adopted snapshot, refreshing first if stale. Callers keep the
+  /// returned shared_ptr for the whole unit of work they want pinned to
+  /// one version (the Batcher holds it across a micro-batch).
+  std::shared_ptr<const FormatSelector> model();
+
+  /// Adopted version (lags registry.version() until the next model()).
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of adoptions that replaced a live model (i.e. hot swaps; the
+  /// initial adoption at construction is not counted).
+  std::uint64_t swaps() const {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+  ModelRegistry& registry() const { return registry_; }
+
+ private:
+  ModelRegistry& registry_;
+  std::mutex mu_;
+  std::shared_ptr<const FormatSelector> model_;  // guarded by mu_
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+};
+
+}  // namespace dnnspmv

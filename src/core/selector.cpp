@@ -138,6 +138,9 @@ FormatSelector FormatSelector::clone() const {
   DNNSPMV_CHECK_MSG(net_, "clone of an untrained FormatSelector");
   FormatSelector out(opts_);
   out.candidates_ = candidates_;
+  // Clones carry the weight set's registry version: a ModelSubscription's
+  // private copy must answer model_version() with the published number.
+  out.model_version_ = model_version_;
   out.net_ = std::make_unique<MergeNet>(build_cnn(out.make_spec()));
   copy_params(const_cast<MergeNet&>(*net_).params(), out.net_->params());
   return out;
@@ -161,6 +164,9 @@ void FormatSelector::save(const std::string& path) const {
   DNNSPMV_CHECK_MSG(net_, "save of an untrained FormatSelector");
   std::ofstream os(path, std::ios::binary);
   DNNSPMV_CHECK_MSG(os.is_open(), "cannot open " << path << " for write");
+  // Versioned weight set: the header carries the registry version the
+  // weights were published as, so a reloaded model keeps its provenance.
+  save_weight_set_header(os, WeightSetHeader{1, model_version_});
   const auto mode = static_cast<std::int32_t>(opts_.mode);
   os.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
   os.write(reinterpret_cast<const char*>(&opts_.rep_rows), sizeof(opts_.rep_rows));
@@ -182,6 +188,10 @@ FormatSelector FormatSelector::load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   DNNSPMV_CHECK_MSG(is.is_open(), "cannot open " << path);
   SelectorOptions opts;
+  // Pre-versioning files start directly with the mode field; the header
+  // probe rewinds on them and the model loads with version 0 (unpublished).
+  WeightSetHeader header;
+  read_weight_set_header(is, header);
   std::int32_t mode = 0, late = 0, ncand = 0;
   is.read(reinterpret_cast<char*>(&mode), sizeof(mode));
   is.read(reinterpret_cast<char*>(&opts.rep_rows), sizeof(opts.rep_rows));
@@ -199,6 +209,7 @@ FormatSelector FormatSelector::load(const std::string& path) {
     is.read(reinterpret_cast<char*>(&fi), sizeof(fi));
     sel.candidates_.push_back(static_cast<Format>(fi));
   }
+  sel.model_version_ = header.model_version;
   sel.net_ = std::make_unique<MergeNet>(build_cnn(sel.make_spec()));
   load_params(is, sel.net_->params());
   return sel;

@@ -102,6 +102,12 @@ class FormatSelector {
   bool trained() const { return net_ != nullptr; }
   MergeNet& net();
 
+  /// Version of this weight set in its ModelRegistry's numbering: 0 for a
+  /// model that was never published (offline training, ad-hoc clones);
+  /// >= 1 once stamped by ModelRegistry::publish. Rides clone(), save()
+  /// and load(), so a serialized weight set keeps its provenance.
+  std::uint64_t model_version() const { return model_version_; }
+
   /// Deep copy of a trained selector: a fresh MergeNet with identical
   /// architecture and weights and its own inference mutex. Because forward
   /// passes are serialized per selector, N clones give N independent
@@ -119,9 +125,12 @@ class FormatSelector {
  private:
   CnnSpec make_spec() const;
 
+  friend class ModelRegistry;  // stamps model_version_ at publish time
+
   SelectorOptions opts_;
   StreamingRepBuilder rep_builder_;  // derived from opts_; keep adjacent
   std::vector<Format> candidates_;
+  std::uint64_t model_version_ = 0;
   std::unique_ptr<MergeNet> net_;  // unique_ptr: MergeNet is move-averse
   // Serializes forward passes (MergeNet scratch is not re-entrant); in a
   // unique_ptr so the selector stays movable.

@@ -21,7 +21,36 @@ void read_pod(std::istream& is, T& v) {
   DNNSPMV_CHECK_MSG(is.good(), "truncated model file");
 }
 
+// Chosen to be impossible as a legacy file's first field: pre-header
+// selector files begin with a RepMode int32 (a small non-negative enum).
+constexpr std::uint32_t kWeightSetMagic = 0x57534D56;  // "VMSW"
+
 }  // namespace
+
+void save_weight_set_header(std::ostream& os, const WeightSetHeader& h) {
+  write_pod(os, kWeightSetMagic);
+  write_pod(os, h.format_version);
+  write_pod(os, h.model_version);
+  DNNSPMV_CHECK_MSG(os.good(), "weight-set header write failed");
+}
+
+bool read_weight_set_header(std::istream& is, WeightSetHeader& h) {
+  h = WeightSetHeader{};
+  const std::istream::pos_type start = is.tellg();
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is.good() || magic != kWeightSetMagic) {
+    // Legacy stream (or too short to hold a header): rewind untouched.
+    is.clear();
+    is.seekg(start);
+    return false;
+  }
+  read_pod(is, h.format_version);
+  DNNSPMV_CHECK_MSG(h.format_version == 1, "unknown weight-set format version "
+                                               << h.format_version);
+  read_pod(is, h.model_version);
+  return true;
+}
 
 void save_params(std::ostream& os, const std::vector<Param*>& params) {
   os.write(kMagic, sizeof(kMagic));

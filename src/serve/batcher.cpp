@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 #include "serve/fault.hpp"
+#include "serve/fingerprint.hpp"
 
 namespace dnnspmv {
 namespace {
@@ -21,11 +22,11 @@ void fail_request(PredictRequest& r, const std::exception_ptr& err) {
 
 }  // namespace
 
-Batcher::Batcher(const FormatSelector& selector, RequestQueue& queue,
+Batcher::Batcher(ModelSubscription& models, RequestQueue& queue,
                  PredictionCache& cache, ServiceMetrics& metrics,
                  std::size_t max_batch, fault::Injector* injector,
                  RepBufferPool* pool)
-    : selector_(selector),
+    : models_(models),
       queue_(queue),
       cache_(cache),
       metrics_(metrics),
@@ -36,6 +37,12 @@ Batcher::Batcher(const FormatSelector& selector, RequestQueue& queue,
 }
 
 void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
+  const std::shared_ptr<const FormatSelector> model = models_.model();
+  serve_batch(batch, ws, *model);
+}
+
+void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws,
+                          const FormatSelector& model) {
   if (batch.empty()) return;
   // Recycles a request's (or assembled) input buffers into the pool; a
   // moved-from / empty set is a no-op, so it is safe to offer both the
@@ -96,15 +103,19 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
     std::vector<std::int32_t> picks;
     {
       obs::Span span("serve.forward");
-      picks = selector_.predict_prepared(prepared, &ws);
+      picks = model.predict_prepared(prepared, &ws);
     }
     DNNSPMV_CHECK(picks.size() == batch.size());
     // Cache and metrics first, promises last: once a client unblocks, its
     // prediction is already cached and the batch counters already reflect
     // it (snapshot() right after predict() must see this forward).
+    // Entries are keyed under the version that produced them, so probes
+    // stop hitting them once the service moves to a newer version.
     obs::Span span("serve.fulfill");
     for (std::size_t i = 0; i < batch.size(); ++i)
-      cache_.put(batch[i].fingerprint, picks[i]);
+      cache_.put(
+          versioned_cache_key(batch[i].fingerprint, model.model_version()),
+          picks[i]);
     metrics_.record_batch(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       batch[i].result.set_value(picks[i]);
@@ -126,11 +137,21 @@ void Batcher::serve_batch(std::vector<PredictRequest>& batch, Workspace& ws) {
 void Batcher::run() {
   Workspace ws;  // per-worker scratch, reused across every served batch
   std::vector<PredictRequest> batch;
+  // Per-worker model snapshot. The staleness probe between batches is one
+  // relaxed atomic compare; adoption (clone of the published version) only
+  // runs when a publish actually happened. Holding the shared_ptr across
+  // serve_batch pins the version for the whole micro-batch.
+  std::shared_ptr<const FormatSelector> model = models_.model();
+  metrics_.record_model_version(model->model_version());
   while (true) {
     batch.clear();
     if (queue_.pop_batch(batch, max_batch_) == 0) return;
     metrics_.record_queue_depth(queue_.approx_size());
-    serve_batch(batch, ws);
+    if (models_.stale()) {
+      model = models_.model();
+      metrics_.record_model_swap(model->model_version());
+    }
+    serve_batch(batch, ws, *model);
   }
 }
 

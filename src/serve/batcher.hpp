@@ -20,8 +20,21 @@
 // exercised deterministically in tests. Every popped request's promise is
 // satisfied exactly once — value, deadline error, injected error, or
 // forward error — never leaked.
+//
+// Model adoption (ISSUE 8): workers serve off a ModelSubscription instead
+// of a fixed selector. Between batches a worker runs the subscription's
+// lock-free staleness probe and adopts newly published versions; *within*
+// a batch the model is pinned — the worker holds the snapshot's
+// shared_ptr across the forward pass, so a publish mid-batch never moves
+// the model under a running inference (RCU: the old version stays alive
+// until its last in-flight batch drops the reference). Cache entries are
+// keyed by (fingerprint, model version), so predictions from a superseded
+// version stop being served as soon as probes move to the new key space.
 #pragma once
 
+#include <memory>
+
+#include "core/model_registry.hpp"
 #include "core/selector.hpp"
 #include "serve/fault.hpp"
 #include "serve/lru_cache.hpp"
@@ -37,7 +50,7 @@ class Batcher {
   /// a router can make exactly one replica's workers unhealthy. `pool`
   /// (optional) receives every served request's input buffers back for
   /// reuse — the release half of the miss path's allocation-free loop.
-  Batcher(const FormatSelector& selector, RequestQueue& queue,
+  Batcher(ModelSubscription& models, RequestQueue& queue,
           PredictionCache& cache, ServiceMetrics& metrics,
           std::size_t max_batch, fault::Injector* injector = nullptr,
           RepBufferPool* pool = nullptr);
@@ -49,12 +62,17 @@ class Batcher {
   /// inference stops allocating once shapes have been seen.
   void run();
 
-  /// Answers one popped batch with the given per-worker scratch workspace
-  /// (exposed for deterministic tests).
+  /// Answers one popped batch on `model` (the version pinned for this
+  /// batch) with the given per-worker scratch workspace.
+  void serve_batch(std::vector<PredictRequest>& batch, Workspace& ws,
+                   const FormatSelector& model);
+
+  /// Convenience for deterministic tests: pins the subscription's current
+  /// model for this one batch.
   void serve_batch(std::vector<PredictRequest>& batch, Workspace& ws);
 
  private:
-  const FormatSelector& selector_;
+  ModelSubscription& models_;
   RequestQueue& queue_;
   PredictionCache& cache_;
   ServiceMetrics& metrics_;

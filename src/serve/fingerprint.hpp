@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/hash.hpp"
 #include "sparse/stats.hpp"
 
 namespace dnnspmv {
@@ -23,5 +24,15 @@ std::uint64_t structural_fingerprint(const MatrixStats& s);
 
 /// Fingerprint of `a`: hash of dims, nnz, and the stats vector.
 std::uint64_t structural_fingerprint(const Csr& a);
+
+/// Prediction-cache key for a fingerprint under one model version. Mixing
+/// the version into the key makes entries self-invalidating across a
+/// ModelRegistry hot swap: after a publish, probes move to the new
+/// version's key space and stale predictions simply age out of the LRU —
+/// no cache clear, no race with workers still caching the old version.
+inline std::uint64_t versioned_cache_key(std::uint64_t fingerprint,
+                                         std::uint64_t model_version) {
+  return hash_combine(fingerprint, model_version);
+}
 
 }  // namespace dnnspmv

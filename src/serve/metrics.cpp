@@ -47,6 +47,8 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* reg)
       fp_reused_(reg_->counter(prefix_ + "fp_reused")),
       batches_(reg_->counter(prefix_ + "batches")),
       batched_samples_(reg_->counter(prefix_ + "batched_samples")),
+      swap_total_(reg_->counter(prefix_ + "swap_total")),
+      model_version_(reg_->gauge(prefix_ + "model_version")),
       max_batch_(reg_->gauge(prefix_ + "max_batch")),
       cache_entries_(reg_->gauge(prefix_ + "cache_entries")),
       queue_depth_(reg_->gauge(prefix_ + "queue_depth")),
@@ -78,6 +80,8 @@ ServiceStats ServiceMetrics::snapshot(std::uint64_t cache_entries) const {
   s.batched_samples = batched_samples_.value();
   s.max_batch = static_cast<std::uint64_t>(max_batch_.value());
   s.cache_entries = cache_entries;
+  s.model_version = static_cast<std::uint64_t>(model_version_.value());
+  s.model_swaps = swap_total_.value();
   s.latency = latency_.snapshot().buckets;
   s.rep_build = rep_build_.snapshot();
   return s;

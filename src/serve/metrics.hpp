@@ -42,6 +42,8 @@ struct ServiceStats {
   std::uint64_t batched_samples = 0; // requests summed over those batches
   std::uint64_t max_batch = 0;       // largest coalesced batch seen
   std::uint64_t cache_entries = 0;   // live cache entries at snapshot time
+  std::uint64_t model_version = 0;   // registry version the workers serve
+  std::uint64_t model_swaps = 0;     // hot swaps adopted since start
   std::array<std::uint64_t, kLatencyBuckets> latency{};  // bucket counts
   // Miss-path representation-build time (the serve.prepare_inputs work),
   // microsecond buckets like `latency`. Counts one observation per
@@ -109,6 +111,15 @@ class ServiceMetrics {
   void record_queue_depth(std::size_t depth) {
     queue_depth_.set(static_cast<double>(depth));
   }
+  /// A worker adopted a newly-published model version (RCU hot swap).
+  void record_model_swap(std::uint64_t new_version) {
+    swap_total_.inc();
+    model_version_.update_max(static_cast<double>(new_version));
+  }
+  /// The version the service booted on (swaps then only move it forward).
+  void record_model_version(std::uint64_t version) {
+    model_version_.update_max(static_cast<double>(version));
+  }
 
   void record_batch(std::size_t batch_size);
   void record_latency(double seconds) { latency_.observe_seconds(seconds); }
@@ -145,6 +156,8 @@ class ServiceMetrics {
   obs::Counter& fp_reused_;
   obs::Counter& batches_;
   obs::Counter& batched_samples_;
+  obs::Counter& swap_total_;
+  obs::Gauge& model_version_;
   obs::Gauge& max_batch_;
   obs::Gauge& cache_entries_;
   obs::Gauge& queue_depth_;

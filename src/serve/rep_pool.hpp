@@ -13,7 +13,7 @@
 // The pool is deliberately tiny and boring: a mutex-guarded stack with a
 // capacity cap. Releases beyond the cap free the buffers instead of
 // pooling them, which bounds memory when foreign buffers flow in (the
-// router's hedge path hands submit_prepared() buffers this pool never
+// router's hedge path hands Request::inputs buffers this pool never
 // issued).
 #pragma once
 

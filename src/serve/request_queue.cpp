@@ -12,24 +12,37 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
 
 bool RequestQueue::push(PredictRequest&& r) {
   std::unique_lock<std::mutex> lock(mu_);
+  ++full_waiters_;
   not_full_.wait(lock, [this] { return closed_ || q_.size() < capacity_; });
+  --full_waiters_;
   if (closed_) return false;
   q_.push_back(std::move(r));
   approx_size_.store(q_.size(), std::memory_order_relaxed);
+  // Waiter-gated wakeup: only pay the notify (a futex syscall on Linux)
+  // when a worker is actually parked. Reading the count under the lock is
+  // race-free — a worker can only *start* waiting while holding mu_, and
+  // any worker that locks after our unlock sees the non-empty queue in its
+  // predicate and never sleeps. On an oversubscribed host (closed-loop
+  // clients + workers > cores) the unconditional notify was a per-request
+  // context-switch storm: every push preempted the producer to wake a
+  // worker that was already runnable.
+  const bool wake = empty_waiters_ > 0;
   lock.unlock();
-  not_empty_.notify_one();
+  if (wake) not_empty_.notify_one();
   return true;
 }
 
 PushResult RequestQueue::try_push(PredictRequest&& r) {
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return PushResult::kClosed;
     if (q_.size() >= capacity_) return PushResult::kFull;
     q_.push_back(std::move(r));
     approx_size_.store(q_.size(), std::memory_order_relaxed);
+    wake = empty_waiters_ > 0;
   }
-  not_empty_.notify_one();
+  if (wake) not_empty_.notify_one();
   return PushResult::kOk;
 }
 
@@ -37,15 +50,18 @@ std::size_t RequestQueue::pop_batch(std::vector<PredictRequest>& out,
                                     std::size_t max_batch) {
   DNNSPMV_CHECK(max_batch > 0);
   std::unique_lock<std::mutex> lock(mu_);
+  ++empty_waiters_;
   not_empty_.wait(lock, [this] { return closed_ || !q_.empty(); });
+  --empty_waiters_;
   const std::size_t n = std::min(max_batch, q_.size());
   for (std::size_t i = 0; i < n; ++i) {
     out.push_back(std::move(q_.front()));
     q_.pop_front();
   }
   approx_size_.store(q_.size(), std::memory_order_relaxed);
+  const bool wake = n > 0 && full_waiters_ > 0;
   lock.unlock();
-  if (n > 0) not_full_.notify_all();
+  if (wake) not_full_.notify_all();
   return n;
 }
 

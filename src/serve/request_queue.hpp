@@ -118,6 +118,10 @@ class RequestQueue {
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
+  // Parked-thread counts (guarded by mu_) that gate the notify calls:
+  // nobody waiting → no syscall. See push() for the correctness argument.
+  std::size_t empty_waiters_ = 0;
+  std::size_t full_waiters_ = 0;
   std::deque<PredictRequest> q_;
   std::atomic<std::size_t> approx_size_{0};
   std::size_t capacity_;

@@ -128,9 +128,24 @@ struct ReplicaRouter::HedgeState {
   int sibling = 0;
 };
 
+ReplicaRouter::ReplicaRouter(ModelRegistry& registry, RouterOptions opts)
+    : ReplicaRouter(nullptr, &registry, std::move(opts)) {}
+
 ReplicaRouter::ReplicaRouter(const FormatSelector& selector,
                              RouterOptions opts)
-    : opts_(std::move(opts)),
+    : ReplicaRouter(
+          [&selector] {
+            DNNSPMV_CHECK_ERRC(selector.trained(), errc::not_trained,
+                               "ReplicaRouter needs a trained FormatSelector");
+            return std::make_unique<ModelRegistry>(selector.clone());
+          }(),
+          nullptr, std::move(opts)) {}
+
+ReplicaRouter::ReplicaRouter(std::unique_ptr<ModelRegistry> owned,
+                             ModelRegistry* registry, RouterOptions opts)
+    : owned_registry_(std::move(owned)),
+      registry_(registry ? *registry : *owned_registry_),
+      opts_(std::move(opts)),
       ring_(opts_.replicas, opts_.vnodes),
       prefix_(next_router_prefix()),
       requests_(obs::MetricsRegistry::global().counter(prefix_ + "requests")),
@@ -146,8 +161,6 @@ ReplicaRouter::ReplicaRouter(const FormatSelector& selector,
           obs::MetricsRegistry::global().histogram(prefix_ + "latency_us")),
       budget_us_(opts_.hedge_fixed_us > 0 ? opts_.hedge_fixed_us
                                           : opts_.hedge_min_us) {
-  DNNSPMV_CHECK_ERRC(selector.trained(), errc::not_trained,
-                     "ReplicaRouter needs a trained FormatSelector");
   DNNSPMV_CHECK_ERRC(opts_.replicas >= 1, errc::invalid_argument,
                      "need at least one replica");
   DNNSPMV_CHECK_ERRC(opts_.hedge_quantile > 0.0 && opts_.hedge_quantile <= 1.0,
@@ -162,9 +175,6 @@ ReplicaRouter::ReplicaRouter(const FormatSelector& selector,
                                        opts_.replicas);
 
   const auto n = static_cast<std::size_t>(opts_.replicas);
-  selectors_.reserve(n);  // reserve first: services keep references
-  for (std::size_t i = 0; i < n; ++i) selectors_.push_back(selector.clone());
-
   services_.reserve(n);
   depth_gauges_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -175,7 +185,10 @@ ReplicaRouter::ReplicaRouter(const FormatSelector& selector,
     if (i < placement_.size()) so.pin_cpus = placement_[i].cpus;
     if (i < opts_.injectors.size() && opts_.injectors[i])
       so.injector = opts_.injectors[i];
-    services_.push_back(std::make_unique<SelectionService>(selectors_[i], so));
+    // Every replica subscribes to the shared registry: one publication
+    // path, N independent inference lanes (each subscription adopts by
+    // clone — see core/model_registry.hpp).
+    services_.push_back(std::make_unique<SelectionService>(registry_, so));
     depth_gauges_.push_back(&obs::MetricsRegistry::global().gauge(
         prefix_ + "replica" + std::to_string(i) + "_depth"));
   }
@@ -274,11 +287,16 @@ void ReplicaRouter::fire_hedge(const std::shared_ptr<HedgeState>& s) {
     ++s->pending;
   }
   hedges_.inc();
-  services_[static_cast<std::size_t>(s->sibling)]->submit_prepared(
-      s->st, s->fp, std::move(inputs), dl,
-      [this, s](std::int32_t idx, AnswerSource src, std::exception_ptr err) {
-        complete(s, idx, src, std::move(err), /*from_hedge=*/true);
-      });
+  Request hedge;
+  hedge.stats = s->st;
+  hedge.fingerprint = s->fp;
+  hedge.inputs = std::move(inputs);
+  hedge.deadline = dl;
+  hedge.done = [this, s](std::int32_t idx, AnswerSource src,
+                         std::exception_ptr err) {
+    complete(s, idx, src, std::move(err), /*from_hedge=*/true);
+  };
+  services_[static_cast<std::size_t>(s->sibling)]->submit(std::move(hedge));
 }
 
 void ReplicaRouter::run_hedger() {
@@ -338,12 +356,17 @@ std::future<std::int32_t> ReplicaRouter::submit(
     s->may_hedge = hedgeable;
   }
 
-  services_[static_cast<std::size_t>(s->primary)]->submit_fingerprinted(
-      a, st, fp, deadline,
-      [this, s](std::int32_t idx, AnswerSource src, std::exception_ptr err) {
-        complete(s, idx, src, std::move(err), /*from_hedge=*/false);
-      },
-      hedgeable ? &s->inputs : nullptr);
+  Request primary;
+  primary.matrix = &a;
+  primary.stats = st;
+  primary.fingerprint = fp;
+  primary.deadline = deadline;
+  primary.done = [this, s](std::int32_t idx, AnswerSource src,
+                           std::exception_ptr err) {
+    complete(s, idx, src, std::move(err), /*from_hedge=*/false);
+  };
+  primary.retain_inputs = hedgeable ? &s->inputs : nullptr;
+  services_[static_cast<std::size_t>(s->primary)]->submit(std::move(primary));
 
   if (hedgeable) {
     bool track = false;

@@ -12,8 +12,10 @@
 //                  │                cache-warm on one replica)
 //         ┌────────┴──────────┬──────────────────┐
 //      replica 0           replica 1    …     replica N-1
-//      own model clone     own model clone
-//      own cache shard     own cache shard
+//      registry subscriber registry subscriber   (one ModelRegistry is the
+//      (adopts published   (adopts published      tier's single publication
+//       versions by clone)  versions by clone)    path; hot swap per
+//      own cache shard     own cache shard        replica, no restart)
 //      own bounded queue   own bounded queue
 //      workers pinned to   workers pinned to
 //      core/NUMA group 0   core/NUMA group 1     (serve/affinity.hpp)
@@ -137,8 +139,15 @@ struct RouterStats {
 
 class ReplicaRouter {
  public:
-  /// Clones `selector` once per replica (independent inference lanes); the
-  /// original is only read during construction and may be discarded after.
+  /// All replicas subscribe to `registry` — one publication path for the
+  /// whole tier. Each replica's subscription still adopts by clone, so
+  /// inference lanes stay independent (see core/model_registry.hpp); a
+  /// publish hot-swaps every replica at its next batch boundary. The
+  /// registry must outlive the router.
+  explicit ReplicaRouter(ModelRegistry& registry, RouterOptions opts = {});
+
+  /// Legacy convenience: clones `selector` into a private owned registry
+  /// (version 1). The selector may be discarded after construction.
   explicit ReplicaRouter(const FormatSelector& selector,
                          RouterOptions opts = {});
   ~ReplicaRouter();
@@ -182,8 +191,15 @@ class ReplicaRouter {
     return services_.front()->candidates();
   }
 
+  /// The registry every replica subscribes to (the owned one for the
+  /// legacy selector constructor) — publish() here to hot-swap the tier.
+  ModelRegistry& registry() const { return registry_; }
+
  private:
   struct HedgeState;
+
+  ReplicaRouter(std::unique_ptr<ModelRegistry> owned, ModelRegistry* registry,
+                RouterOptions opts);
 
   /// First-wins resolution of one dispatch's outcome into the state.
   void complete(const std::shared_ptr<HedgeState>& s, std::int32_t idx,
@@ -196,10 +212,11 @@ class ReplicaRouter {
   void run_hedger();
   void refresh_budget();
 
+  std::unique_ptr<ModelRegistry> owned_registry_;  // legacy ctor only
+  ModelRegistry& registry_;
   RouterOptions opts_;
   HashRing ring_;
   std::vector<affinity::CpuGroup> placement_;
-  std::vector<FormatSelector> selectors_;  // one model clone per replica
   std::vector<std::unique_ptr<SelectionService>> services_;
 
   // Metrics (router<N>. prefix in the global obs registry).

@@ -21,14 +21,21 @@ std::size_t shed_threshold_for(const ServiceOptions& opts) {
   return std::max<std::size_t>(1, t);
 }
 
-FallbackSelector make_fallback(const FormatSelector& selector,
+FallbackSelector make_fallback(const ModelRegistry& registry,
                                const ServiceOptions& opts) {
-  if (!opts.fallback) return FallbackSelector(selector.candidates());
-  DNNSPMV_CHECK_ERRC(opts.fallback->candidates() == selector.candidates(),
+  if (!opts.fallback) return FallbackSelector(registry.candidates());
+  DNNSPMV_CHECK_ERRC(opts.fallback->candidates() == registry.candidates(),
                      errc::invalid_argument,
                      "ServiceOptions::fallback was built for a different "
-                     "candidate list than the FormatSelector's");
+                     "candidate list than the model registry's");
   return *opts.fallback;
+}
+
+std::unique_ptr<ModelRegistry> make_owned_registry(
+    const FormatSelector& selector) {
+  DNNSPMV_CHECK_ERRC(selector.trained(), errc::not_trained,
+                     "SelectionService needs a trained FormatSelector");
+  return std::make_unique<ModelRegistry>(selector.clone());
 }
 
 /// Ready future carrying `idx`; also consumes `done` on the success path.
@@ -46,35 +53,57 @@ std::future<std::int32_t> ready_future(std::int32_t idx, AnswerSource src,
 
 }  // namespace
 
+SelectionService::SelectionService(ModelRegistry& registry,
+                                   ServiceOptions opts)
+    : SelectionService(nullptr, &registry, std::move(opts)) {}
+
 SelectionService::SelectionService(const FormatSelector& selector,
                                    ServiceOptions opts)
-    : selector_(selector),
-      opts_(opts),
-      fallback_(make_fallback(selector, opts)),
-      shed_threshold_(shed_threshold_for(opts)),
-      injector_(opts.injector ? opts.injector : &fault::Injector::global()),
-      cache_(opts.cache_capacity, opts.cache_shards),
-      queue_(opts.queue_capacity),
+    : SelectionService(make_owned_registry(selector), nullptr,
+                       std::move(opts)) {}
+
+SelectionService::SelectionService(std::unique_ptr<ModelRegistry> owned,
+                                   ModelRegistry* registry,
+                                   ServiceOptions opts)
+    : owned_registry_(std::move(owned)),
+      registry_(registry ? *registry : *owned_registry_),
+      subscription_(registry_),
+      opts_(std::move(opts)),
+      rep_builder_(registry_.current()->rep_builder()),
+      fallback_(make_fallback(registry_, opts_)),
+      shed_threshold_(shed_threshold_for(opts_)),
+      injector_(opts_.injector ? opts_.injector : &fault::Injector::global()),
+      feedback_probe_(opts_.feedback_probe),
+      cache_(opts_.cache_capacity, opts_.cache_shards),
+      queue_(opts_.queue_capacity),
       // Enough pooled buffer sets to cover every request that can be in
       // flight at once (queued + being batched per worker), so a loaded
       // steady state never finds the pool dry.
-      rep_pool_(opts.queue_capacity +
-                static_cast<std::size_t>(std::max(opts.num_workers, 1)) *
-                    opts.max_batch),
-      batcher_(selector_, queue_, cache_, metrics_, opts.max_batch,
+      rep_pool_(opts_.queue_capacity +
+                static_cast<std::size_t>(std::max(opts_.num_workers, 1)) *
+                    opts_.max_batch),
+      batcher_(subscription_, queue_, cache_, metrics_, opts_.max_batch,
                injector_, &rep_pool_) {
-  DNNSPMV_CHECK_ERRC(selector.trained(), errc::not_trained,
-                     "SelectionService needs a trained FormatSelector");
-  DNNSPMV_CHECK_ERRC(opts.num_workers > 0, errc::invalid_argument,
+  DNNSPMV_CHECK_ERRC(opts_.num_workers > 0, errc::invalid_argument,
                      "need at least one worker");
-  DNNSPMV_CHECK_ERRC(opts.shed_watermark > 0.0, errc::invalid_argument,
+  DNNSPMV_CHECK_ERRC(opts_.shed_watermark > 0.0, errc::invalid_argument,
                      "shed_watermark must be positive (use > 1 to disable)");
-  DNNSPMV_CHECK_ERRC(opts.push_retries >= 0, errc::invalid_argument,
+  DNNSPMV_CHECK_ERRC(opts_.push_retries >= 0, errc::invalid_argument,
                      "push_retries must be non-negative");
-  DNNSPMV_CHECK_ERRC(opts.push_backoff_us >= 0, errc::invalid_argument,
+  DNNSPMV_CHECK_ERRC(opts_.push_backoff_us >= 0, errc::invalid_argument,
                      "push_backoff_us must be non-negative");
-  workers_.reserve(static_cast<std::size_t>(opts.num_workers));
-  for (int i = 0; i < opts.num_workers; ++i)
+  if (opts_.feedback && !feedback_probe_) {
+    // Default probe: time this host's real kernels over the registry's
+    // candidates — the same measured-label path the offline pipeline uses.
+    feedback_probe_ = [formats = registry_.candidates(),
+                       reps = opts_.feedback->options().measure_reps](
+                          const Csr& a) {
+      return measure_format_times(a, formats, reps);
+    };
+  }
+  metrics_.record_model_version(subscription_.version());
+  workers_.reserve(static_cast<std::size_t>(opts_.num_workers));
+  for (int i = 0; i < opts_.num_workers; ++i)
     workers_.emplace_back([this] {
       // Best-effort: an unpinnable host just leaves the scheduler in charge.
       if (!opts_.pin_cpus.empty()) affinity::pin_current_thread(opts_.pin_cpus);
@@ -108,7 +137,11 @@ std::optional<std::future<std::int32_t>> SelectionService::answer_inline(
   {
     obs::Span span("serve.cache_probe");
     std::int32_t cached = 0;
-    if (cache_.get(fp, cached)) {
+    // Probes are keyed under the version the workers have adopted: after
+    // a hot swap the key space moves and the old version's entries age
+    // out of the LRU on their own (no clear, no stale answers).
+    if (cache_.get(versioned_cache_key(fp, subscription_.version()),
+                   cached)) {
       metrics_.record_hit();
       return ready_future(cached, AnswerSource::kCache, done);
     }
@@ -161,72 +194,68 @@ std::future<std::int32_t> SelectionService::enqueue(
   return answer_degraded(st, false, std::move(req.done));
 }
 
-std::future<std::int32_t> SelectionService::submit(
-    const Csr& a, std::optional<std::chrono::microseconds> deadline) {
+void SelectionService::maybe_publish_feedback(
+    const Csr& a, std::uint64_t fp, const std::vector<Tensor>& inputs) {
+  if (!opts_.feedback || !opts_.feedback->offer()) return;
+  obs::Span span("serve.feedback_probe");
+  FeedbackSample s;
+  s.fingerprint = fp;
+  s.inputs = inputs;  // copy; the originals are about to be enqueued
+  s.format_times = feedback_probe_(a);
+  opts_.feedback->publish(std::move(s));
+}
+
+std::future<std::int32_t> SelectionService::submit(Request&& r) {
   MatrixStats st;
-  std::uint64_t fp = 0;
-  {
+  if (r.stats) {
+    st = *r.stats;
+  } else {
+    DNNSPMV_CHECK_ERRC(r.matrix != nullptr, errc::invalid_argument,
+                       "Request needs a matrix when stats are not supplied");
     obs::Span span("serve.fingerprint");
-    st = compute_stats(a);
+    st = compute_stats(*r.matrix);
+  }
+  std::uint64_t fp;
+  if (r.fingerprint) {
+    fp = *r.fingerprint;
+    metrics_.record_fp_reused();
+  } else {
     fp = structural_fingerprint(st);
   }
-  DoneCallback done;
+
+  DoneCallback done = std::move(r.done);
   if (auto inline_answer = answer_inline(st, fp, done))
     return std::move(*inline_answer);
 
   PredictRequest req;
   req.fingerprint = fp;
-  {
+  if (!r.inputs.empty()) {
+    req.inputs = std::move(r.inputs);
+  } else {
+    DNNSPMV_CHECK_ERRC(r.matrix != nullptr, errc::invalid_argument,
+                       "Request needs a matrix when inputs are not supplied");
     obs::Span span("serve.prepare_inputs");
     Timer timer;
     req.inputs = rep_pool_.acquire();
-    selector_.rep_builder().build_into(a, thread_arena(), req.inputs);
+    rep_builder_.build_into(*r.matrix, thread_arena(), req.inputs);
     metrics_.record_rep_build(timer.seconds());
   }
-  return enqueue(std::move(req), st, deadline);
-}
-
-std::future<std::int32_t> SelectionService::submit_fingerprinted(
-    const Csr& a, const MatrixStats& st, std::uint64_t fp,
-    std::optional<std::chrono::microseconds> deadline, DoneCallback done,
-    std::vector<Tensor>* retain_inputs) {
-  metrics_.record_fp_reused();
-  if (auto inline_answer = answer_inline(st, fp, done))
-    return std::move(*inline_answer);
-
-  PredictRequest req;
-  req.fingerprint = fp;
-  {
-    obs::Span span("serve.prepare_inputs");
-    Timer timer;
-    req.inputs = rep_pool_.acquire();
-    selector_.rep_builder().build_into(a, thread_arena(), req.inputs);
-    metrics_.record_rep_build(timer.seconds());
-  }
-  if (retain_inputs) *retain_inputs = req.inputs;  // hedge copy
+  if (r.retain_inputs) *r.retain_inputs = req.inputs;  // hedge copy
+  // Miss-path feedback: sampled, and only when the matrix is available to
+  // probe (a hedged re-dispatch of pre-built inputs is not).
+  if (r.matrix != nullptr) maybe_publish_feedback(*r.matrix, fp, req.inputs);
   req.done = std::move(done);
-  return enqueue(std::move(req), st, deadline);
-}
-
-std::future<std::int32_t> SelectionService::submit_prepared(
-    const MatrixStats& st, std::uint64_t fp, std::vector<Tensor> inputs,
-    std::optional<std::chrono::microseconds> deadline, DoneCallback done) {
-  metrics_.record_fp_reused();
-  if (auto inline_answer = answer_inline(st, fp, done))
-    return std::move(*inline_answer);
-
-  PredictRequest req;
-  req.fingerprint = fp;
-  req.inputs = std::move(inputs);
-  req.done = std::move(done);
-  return enqueue(std::move(req), st, deadline);
+  return enqueue(std::move(req), st, r.deadline);
 }
 
 std::int32_t SelectionService::predict_index(
     const Csr& a, std::optional<std::chrono::microseconds> deadline) {
   obs::Span span("serve.predict");
   Timer timer;
-  std::future<std::int32_t> fut = submit(a, deadline);
+  Request r;
+  r.matrix = &a;
+  r.deadline = deadline;
+  std::future<std::int32_t> fut = submit(std::move(r));
   const std::int32_t idx = fut.get();
   metrics_.record_latency(timer.seconds());
   return idx;

@@ -50,14 +50,29 @@
 //   fault_injected   — failed by an armed fault-injection site
 //   (other)          — a real forward-pass failure, forwarded verbatim
 //
-// Router hooks (serve/router.hpp): submit_fingerprinted() accepts the
-// stats+fingerprint a ReplicaRouter already computed to pick this replica
-// (one O(nnz) pass per request instead of two), optionally retains a copy
-// of the enqueued CNN inputs for hedged re-dispatch, and fires an optional
-// DoneCallback exactly once when the request resolves; submit_prepared()
-// is the hedge's re-dispatch entry (inputs already built, no matrix
-// needed). ServiceOptions::pin_cpus pins the worker pool to a core/NUMA
-// group and ServiceOptions::injector scopes fault injection per replica.
+// Unified submit API (ISSUE 8): every entry path is one call —
+// submit(Request&&) — where the Request carries whatever the caller
+// already computed. A plain caller sets only `matrix`; a router that
+// fingerprinted to pick this replica adds stats+fingerprint (skipping the
+// O(nnz) rehash, counted in fp_reused); a hedged re-dispatch ships the
+// retained `inputs` and no matrix at all. Missing pieces are derived here,
+// in the calling thread. The old submit/submit_fingerprinted/
+// submit_prepared entry points survive one release as [[deprecated]]
+// inline forwarders. ServiceOptions::pin_cpus pins the worker pool to a
+// core/NUMA group and ServiceOptions::injector scopes fault injection per
+// replica.
+//
+// Online learning (ISSUE 8): the service serves a ModelRegistry
+// subscription, not a fixed selector. Workers probe for newly published
+// versions between micro-batches (lock-free staleness check) and adopt by
+// cloning — no pause, in-flight batches finish on the version they
+// started with. Cache keys mix in the model version, so a swap never
+// serves a stale prediction and never needs a cache clear. When
+// ServiceOptions::feedback is set, a sampled fraction of cache misses is
+// probed (per-format measured SpMV times) and published to the feedback
+// stream — the data the OnlineTrainer fine-tunes on. The legacy
+// selector-reference constructor wraps its selector in a private owned
+// registry, so existing callers keep working (version pinned at 1).
 //
 // Thread safety: predict()/predict_index()/submit()/snapshot() may be
 // called concurrently from any number of threads. shutdown() (or
@@ -74,15 +89,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/model_registry.hpp"
 #include "core/selector.hpp"
 #include "serve/batcher.hpp"
 #include "serve/fallback.hpp"
 #include "serve/fault.hpp"
+#include "serve/feedback.hpp"
 #include "serve/rep_pool.hpp"
 
 namespace dnnspmv {
@@ -118,11 +137,53 @@ struct ServiceOptions {
   // selector's candidates. A trained one (FallbackSelector::train) must
   // use the same candidate list as the FormatSelector.
   std::optional<FallbackSelector> fallback;
+
+  // Online-learning feedback (null = no feedback). When set, a sampled
+  // fraction of cache misses that carry a matrix (feedback->offer()
+  // decides) is probed for per-format measured SpMV times and published
+  // to this stream. Must outlive the service.
+  FeedbackCollector* feedback = nullptr;
+  // Probe override: per-format seconds for a matrix, candidate order.
+  // Unset → measure_format_times over the registry's candidates (times
+  // this host's real kernels). Benches and tests substitute an analytic
+  // platform to script a drifted label distribution deterministically.
+  std::function<std::vector<double>(const Csr&)> feedback_probe;
+};
+
+/// One prediction request — the single submit() currency. Exactly the
+/// fields a caller happens to know; the service derives the rest:
+///   * stats absent  → computed from *matrix (O(nnz));
+///   * fingerprint absent → computed from stats;
+///   * inputs empty  → CNN representations built from *matrix in the
+///     calling thread (the miss path's per-request work).
+/// `matrix` may be null only when stats+fingerprint are present AND
+/// inputs are pre-built (a hedged re-dispatch); it is borrowed for the
+/// duration of the submit call only.
+struct Request {
+  const Csr* matrix = nullptr;
+  std::optional<MatrixStats> stats;
+  std::optional<std::uint64_t> fingerprint;
+  std::vector<Tensor> inputs;  // pre-built CNN representations (optional)
+  std::optional<std::chrono::microseconds> deadline;  // relative to now
+  // Fired exactly once when the request resolves, on whatever thread
+  // resolves it (see DoneCallback's contract in request_queue.hpp).
+  DoneCallback done;
+  // When non-null and the request reaches the queue (miss, admitted),
+  // receives a copy of the CNN inputs actually enqueued — what a router
+  // retains for hedged re-dispatch. Left empty on inline answers.
+  std::vector<Tensor>* retain_inputs = nullptr;
 };
 
 class SelectionService {
  public:
-  /// `selector` must be trained and must outlive the service.
+  /// Serves `registry`'s current version and hot-swaps to every later
+  /// publish. The registry must outlive the service.
+  explicit SelectionService(ModelRegistry& registry, ServiceOptions opts = {});
+
+  /// Legacy convenience: `selector` must be trained; it is cloned into a
+  /// private owned registry (version 1, never republished unless you
+  /// reach it through registry()). The selector may be discarded after
+  /// construction.
   explicit SelectionService(const FormatSelector& selector,
                             ServiceOptions opts = {});
   ~SelectionService();
@@ -140,40 +201,55 @@ class SelectionService {
                              std::optional<std::chrono::microseconds>
                                  deadline = std::nullopt);
 
-  /// Fire-and-wait-later: a cache hit or degraded answer yields an
-  /// already-ready future, a miss enqueues. The request carries the
-  /// matrix's CNN representations (built here, in the calling thread), so
-  /// the caller may drop `a` as soon as submit returns. `deadline` is
-  /// relative to now; expired requests fail at dequeue with
-  /// errc::deadline_exceeded.
+  /// Fire-and-wait-later, every flavour: a cache hit or degraded answer
+  /// yields an already-ready future, a miss enqueues. Whatever the
+  /// Request doesn't carry is derived here, in the calling thread (see
+  /// Request). Throws DnnspmvError(errc::invalid_argument) when the
+  /// request carries neither a matrix nor enough precomputed pieces.
+  std::future<std::int32_t> submit(Request&& req);
+
+  /// Deprecated forwarders — one release of grace for the pre-unification
+  /// entry points. Thin inline Request builders; new code passes a
+  /// Request directly.
+  [[deprecated("use submit(Request&&)")]]
   std::future<std::int32_t> submit(const Csr& a,
                                    std::optional<std::chrono::microseconds>
-                                       deadline = std::nullopt);
+                                       deadline = std::nullopt) {
+    Request r;
+    r.matrix = &a;
+    r.deadline = deadline;
+    return submit(std::move(r));
+  }
 
-  /// Router-path submit: the caller already computed `st` and `fp` (to pick
-  /// this replica off the hash ring), so this overload skips the O(nnz)
-  /// stats pass submit() would repeat — counted in the `fp_reused` metric.
-  /// `done` (optional) fires exactly once when the request resolves, on
-  /// whatever thread resolves it, alongside the returned future. If
-  /// `retain_inputs` is non-null and the request reaches the queue (cache
-  /// miss, admitted), it receives a copy of the CNN inputs actually
-  /// enqueued — what a router keeps for a later hedged re-dispatch; it is
-  /// left empty on every inline path (hit / degraded / rejected).
+  [[deprecated("use submit(Request&&) with stats+fingerprint set")]]
   std::future<std::int32_t> submit_fingerprinted(
       const Csr& a, const MatrixStats& st, std::uint64_t fp,
       std::optional<std::chrono::microseconds> deadline = std::nullopt,
-      DoneCallback done = nullptr, std::vector<Tensor>* retain_inputs = nullptr);
+      DoneCallback done = nullptr,
+      std::vector<Tensor>* retain_inputs = nullptr) {
+    Request r;
+    r.matrix = &a;
+    r.stats = st;
+    r.fingerprint = fp;
+    r.deadline = deadline;
+    r.done = std::move(done);
+    r.retain_inputs = retain_inputs;
+    return submit(std::move(r));
+  }
 
-  /// Re-dispatch submit: the CNN inputs are already built (a hedge re-uses
-  /// the copy retained by submit_fingerprinted), so the matrix itself is no
-  /// longer needed. Still probes this replica's cache first — a hedged key
-  /// can be cache-warm on the sibling — and still sheds to the degraded
-  /// path above the watermark. `st` feeds the FallbackSelector on that
-  /// path. Also counted in `fp_reused`.
+  [[deprecated("use submit(Request&&) with inputs set")]]
   std::future<std::int32_t> submit_prepared(
       const MatrixStats& st, std::uint64_t fp, std::vector<Tensor> inputs,
       std::optional<std::chrono::microseconds> deadline = std::nullopt,
-      DoneCallback done = nullptr);
+      DoneCallback done = nullptr) {
+    Request r;
+    r.stats = st;
+    r.fingerprint = fp;
+    r.inputs = std::move(inputs);
+    r.deadline = deadline;
+    r.done = std::move(done);
+    return submit(std::move(r));
+  }
 
   /// Closes the queue, drains in-flight requests, joins workers.
   /// Idempotent; also called by the destructor.
@@ -191,9 +267,17 @@ class SelectionService {
   const FallbackSelector& fallback() const { return fallback_; }
 
   const std::vector<Format>& candidates() const {
-    return selector_.candidates();
+    return registry_.candidates();
   }
   const ServiceOptions& options() const { return opts_; }
+
+  /// The registry this service subscribes to (the owned one for the
+  /// legacy selector constructor) — publish() here to hot-swap the model.
+  ModelRegistry& registry() const { return registry_; }
+
+  /// Model version this service's workers have adopted (may briefly lag
+  /// registry().version() until the next batch boundary).
+  std::uint64_t model_version() const { return subscription_.version(); }
 
   /// Approximate queue occupancy (the admission-control mirror) — what a
   /// router polls for its per-replica depth gauges.
@@ -204,6 +288,11 @@ class SelectionService {
   const RepBufferPool& rep_pool() const { return rep_pool_; }
 
  private:
+  /// Common constructor: exactly one of `owned`/`registry` is the model
+  /// source (owned != null for the legacy selector path).
+  SelectionService(std::unique_ptr<ModelRegistry> owned,
+                   ModelRegistry* registry, ServiceOptions opts);
+
   /// Immediate fallback answer for a shed miss (stats already computed).
   /// Consumes `done` (fires it with the degraded answer) when set.
   std::future<std::int32_t> answer_degraded(const MatrixStats& st,
@@ -223,11 +312,22 @@ class SelectionService {
                                     std::optional<std::chrono::microseconds>
                                         deadline);
 
-  const FormatSelector& selector_;
+  /// Sampled miss-path feedback: when the collector's gate says yes,
+  /// probes `a` for per-format measured times and publishes
+  /// (fp, inputs, times). Runs in the submitting thread; the gate keeps
+  /// the steady-state cost at one atomic increment.
+  void maybe_publish_feedback(const Csr& a, std::uint64_t fp,
+                              const std::vector<Tensor>& inputs);
+
+  std::unique_ptr<ModelRegistry> owned_registry_;  // legacy ctor only
+  ModelRegistry& registry_;
+  ModelSubscription subscription_;  // must precede batcher_
   ServiceOptions opts_;
+  StreamingRepBuilder rep_builder_;  // geometry pinned by the registry
   FallbackSelector fallback_;
   std::size_t shed_threshold_;  // queue occupancy that triggers shedding
   fault::Injector* injector_;   // opts_.injector or the global instance
+  std::function<std::vector<double>(const Csr&)> feedback_probe_;
   PredictionCache cache_;
   RequestQueue queue_;
   ServiceMetrics metrics_;

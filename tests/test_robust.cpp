@@ -178,7 +178,8 @@ TEST(Deadline, CacheHitAnswersEvenWhenAlreadyExpired) {
   const std::int32_t expected = service.predict_index(a);  // warm the cache
   // A zero deadline would expire instantly in the queue, but hits never
   // reach the queue: the cached answer is always delivered.
-  std::future<std::int32_t> fut = service.submit(a, microseconds{0});
+  std::future<std::int32_t> fut =
+      service.submit({.matrix = &a, .deadline = microseconds{0}});
   EXPECT_EQ(fut.get(), expected);
   EXPECT_EQ(service.snapshot().deadline_expired, 0u);
 }
@@ -199,15 +200,17 @@ TEST(Deadline, ExpiredWhileQueuedFailsWithDeadlineExceeded) {
   opts.max_batch = 1;
   SelectionService service(p.selector, opts);
 
-  std::future<std::int32_t> pinned = service.submit(p.corpus[0].matrix);
+  std::future<std::int32_t> pinned =
+      service.submit({.matrix = &p.corpus[0].matrix});
   // Give the worker time to pop the pinned request before queueing more.
   std::this_thread::sleep_for(milliseconds(10));
-  std::future<std::int32_t> doomed1 =
-      service.submit(p.corpus[1].matrix, milliseconds(1));
-  std::future<std::int32_t> doomed2 =
-      service.submit(p.corpus[2].matrix, milliseconds(1));
+  std::future<std::int32_t> doomed1 = service.submit(
+      {.matrix = &p.corpus[1].matrix, .deadline = milliseconds(1)});
+  std::future<std::int32_t> doomed2 = service.submit(
+      {.matrix = &p.corpus[2].matrix, .deadline = milliseconds(1)});
   // No deadline: served (late) once the worker frees up.
-  std::future<std::int32_t> patient = service.submit(p.corpus[3].matrix);
+  std::future<std::int32_t> patient =
+      service.submit({.matrix = &p.corpus[3].matrix});
 
   EXPECT_EQ(code_of(doomed1), errc::deadline_exceeded);
   EXPECT_EQ(code_of(doomed2), errc::deadline_exceeded);
@@ -237,14 +240,19 @@ TEST(Shed, WatermarkAnswersDegradedInsteadOfBlocking) {
   SelectionService service(p.selector, opts);
   const FallbackSelector reference(p.selector.candidates());
 
-  std::future<std::int32_t> pinned = service.submit(p.corpus[0].matrix);
+  std::future<std::int32_t> pinned =
+      service.submit({.matrix = &p.corpus[0].matrix});
   std::this_thread::sleep_for(milliseconds(10));
   // Fill to the watermark, then everything degrades.
-  std::future<std::int32_t> q1 = service.submit(p.corpus[1].matrix);
-  std::future<std::int32_t> q2 = service.submit(p.corpus[2].matrix);
+  std::future<std::int32_t> q1 =
+      service.submit({.matrix = &p.corpus[1].matrix});
+  std::future<std::int32_t> q2 =
+      service.submit({.matrix = &p.corpus[2].matrix});
   Timer shed_timer;
-  std::future<std::int32_t> shed1 = service.submit(p.corpus[3].matrix);
-  std::future<std::int32_t> shed2 = service.submit(p.corpus[4].matrix);
+  std::future<std::int32_t> shed1 =
+      service.submit({.matrix = &p.corpus[3].matrix});
+  std::future<std::int32_t> shed2 =
+      service.submit({.matrix = &p.corpus[4].matrix});
   // Degraded answers are immediate — no waiting on the pinned worker.
   EXPECT_EQ(shed1.wait_for(microseconds(0)), std::future_status::ready);
   EXPECT_EQ(shed2.wait_for(microseconds(0)), std::future_status::ready);
@@ -283,7 +291,8 @@ TEST(Shed, FullQueueDegradesAfterBoundedRetries) {
   SelectionService service(p.selector, opts);
   const FallbackSelector reference(p.selector.candidates());
 
-  std::future<std::int32_t> fut = service.submit(p.corpus[5].matrix);
+  std::future<std::int32_t> fut =
+      service.submit({.matrix = &p.corpus[5].matrix});
   EXPECT_EQ(fut.get(),
             reference.predict_index(compute_stats(p.corpus[5].matrix)));
   const ServiceStats s = service.snapshot();
@@ -311,7 +320,8 @@ TEST(FaultInjection, WorkerThrowFailsBatchWithoutLeakingPromises) {
 
   std::vector<std::future<std::int32_t>> futs;
   for (int i = 0; i < 4; ++i)
-    futs.push_back(service.submit(p.corpus[static_cast<std::size_t>(i)].matrix));
+    futs.push_back(
+        service.submit({.matrix = &p.corpus[static_cast<std::size_t>(i)].matrix}));
   int injected = 0, ok = 0;
   for (auto& f : futs) {
     const errc c = code_of(f);
@@ -336,11 +346,13 @@ TEST(FaultInjection, DropFailsOnlyTheDroppedRequest) {
   opts.max_batch = 1;  // one request per pop → the scripted drop hits one
   SelectionService service(p.selector, opts);
 
-  std::future<std::int32_t> dropped = service.submit(p.corpus[0].matrix);
+  std::future<std::int32_t> dropped =
+      service.submit({.matrix = &p.corpus[0].matrix});
   EXPECT_EQ(code_of(dropped), errc::fault_injected);
   // Same matrix again: the drop consumed its script, this one is served
   // (and proves the drop didn't poison the cache with a bogus answer).
-  std::future<std::int32_t> served = service.submit(p.corpus[0].matrix);
+  std::future<std::int32_t> served =
+      service.submit({.matrix = &p.corpus[0].matrix});
   EXPECT_EQ(served.get(), p.selector.predict_index(p.corpus[0].matrix));
   EXPECT_EQ(fault::Injector::global().injected(fault::Site::kWorkerPop), 1u);
 }
@@ -371,8 +383,8 @@ TEST(ShutdownRace, ShutdownWhileDegradedPathActive) {
       for (int i = 0; i < 12; ++i) {
         const auto m = static_cast<std::size_t>((t * 12 + i) % 40);
         try {
-          std::future<std::int32_t> fut =
-              service.submit(p.corpus[m].matrix, milliseconds(50));
+          std::future<std::int32_t> fut = service.submit(
+              {.matrix = &p.corpus[m].matrix, .deadline = milliseconds(50)});
           const errc c = code_of(fut);
           if (c != errc::ok && c != errc::deadline_exceeded &&
               c != errc::service_shutdown && c != errc::fault_injected)
@@ -403,7 +415,8 @@ TEST(RobustMetrics, RegistryExportCarriesRobustnessCounters) {
   opts.push_retries = 0;
   opts.shed_watermark = 2.0;
   SelectionService service(p.selector, opts);
-  std::future<std::int32_t> fut = service.submit(p.corpus[6].matrix);
+  std::future<std::int32_t> fut =
+      service.submit({.matrix = &p.corpus[6].matrix});
   (void)fut.get();  // degraded answer
 
   const ServiceStats s = service.snapshot();

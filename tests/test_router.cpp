@@ -167,8 +167,8 @@ TEST(RouterService, SubmitFingerprintedSkipsRehashAndRetainsInputs) {
   const std::uint64_t fp = structural_fingerprint(st);
 
   std::vector<Tensor> retained;
-  auto fut = svc.submit_fingerprinted(a, st, fp, std::nullopt, nullptr,
-                                      &retained);
+  auto fut = svc.submit(
+      {.matrix = &a, .stats = st, .fingerprint = fp, .retain_inputs = &retained});
   const std::int32_t idx = fut.get();
   EXPECT_EQ(idx, p.selector.predict_index(a));
   // Miss path: the enqueued CNN inputs were copied out for a hedge.
@@ -181,15 +181,18 @@ TEST(RouterService, SubmitFingerprintedSkipsRehashAndRetainsInputs) {
   retained.clear();
   std::atomic<int> done_calls{0};
   AnswerSource seen_src = AnswerSource::kError;
-  auto fut2 = svc.submit_fingerprinted(
-      a, st, fp, std::nullopt,
-      [&](std::int32_t got, AnswerSource src, std::exception_ptr err) {
-        ++done_calls;
-        seen_src = src;
-        EXPECT_EQ(got, idx);
-        EXPECT_FALSE(err);
-      },
-      &retained);
+  auto fut2 = svc.submit(
+      {.matrix = &a,
+       .stats = st,
+       .fingerprint = fp,
+       .done =
+           [&](std::int32_t got, AnswerSource src, std::exception_ptr err) {
+             ++done_calls;
+             seen_src = src;
+             EXPECT_EQ(got, idx);
+             EXPECT_FALSE(err);
+           },
+       .retain_inputs = &retained});
   EXPECT_EQ(fut2.get(), idx);
   EXPECT_TRUE(retained.empty());
   EXPECT_EQ(done_calls.load(), 1);
@@ -208,14 +211,17 @@ TEST(RouterService, SubmitPreparedServesCachesAndFiresCallback) {
   const std::int32_t want = p.selector.predict_index(a);
 
   std::atomic<int> done_calls{0};
-  auto fut = svc.submit_prepared(
-      st, fp, p.selector.prepare_inputs(a), std::nullopt,
-      [&](std::int32_t got, AnswerSource src, std::exception_ptr err) {
-        ++done_calls;
-        EXPECT_EQ(got, want);
-        EXPECT_EQ(src, AnswerSource::kCnn);
-        EXPECT_FALSE(err);
-      });
+  auto fut = svc.submit(
+      {.stats = st,
+       .fingerprint = fp,
+       .inputs = p.selector.prepare_inputs(a),
+       .done =
+           [&](std::int32_t got, AnswerSource src, std::exception_ptr err) {
+             ++done_calls;
+             EXPECT_EQ(got, want);
+             EXPECT_EQ(src, AnswerSource::kCnn);
+             EXPECT_FALSE(err);
+           }});
   EXPECT_EQ(fut.get(), want);
   // The future resolves alongside the callback, not after it — wait for
   // the callback before asserting it fired.
@@ -223,7 +229,7 @@ TEST(RouterService, SubmitPreparedServesCachesAndFiresCallback) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_EQ(done_calls.load(), 1);
   // The answer landed in this replica's cache under the handed-in key.
-  EXPECT_EQ(svc.submit(a).get(), want);
+  EXPECT_EQ(svc.submit({.matrix = &a}).get(), want);
   EXPECT_EQ(svc.snapshot().cache_hits, 1u);
 }
 

@@ -224,7 +224,8 @@ TEST(SelectionService, ShutdownAnswersInFlightThenRejects) {
 
   std::vector<std::future<std::int32_t>> futs;
   for (int i = 0; i < 6; ++i)
-    futs.push_back(service.submit(p.corpus[static_cast<std::size_t>(i)].matrix));
+    futs.push_back(service.submit(
+        {.matrix = &p.corpus[static_cast<std::size_t>(i)].matrix}));
   service.shutdown();  // drains: every accepted request still gets answered
   for (int i = 0; i < 6; ++i) {
     const std::int32_t idx = futs[static_cast<std::size_t>(i)].get();
