@@ -1,12 +1,19 @@
 // GEMM micro-benchmark: packed/register-blocked kernel (tensor/gemm.cpp)
 // vs the seed's naive blocked loop, single thread, on the MergeNet layer
-// shapes plus square sweeps. Emits BENCH_gemm.json with GFLOP/s per shape
-// so the bench trajectory has machine-readable data points.
+// shapes plus square sweeps, with an informational int8 section comparing
+// the quantized qgemm_u7 kernel against packed fp32 on the same shapes.
+// Emits BENCH_gemm.json with GFLOP/s per shape so the bench trajectory has
+// machine-readable data points.
 //
 // Flags: --reps <r> (default 7), --json <path> (default BENCH_gemm.json).
 #include <cstdio>
+#include <cstdint>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "tensor/gemm.hpp"
 
 using namespace dnnspmv;
 using namespace dnnspmv::bench;
@@ -39,6 +46,57 @@ int main(int argc, char** argv) {
       min_speedup_merge = std::min(min_speedup_merge, r.speedup);
   }
 
+  // Int8 section (informational, no gate): the quantized qgemm_u7 kernel
+  // (DESIGN.md §13) on the same shapes plus the n == 1 cold-miss head
+  // shape, which exercises the GEMV twin packing. "vs fp32" is the packed
+  // fp32 kernel's time on the same shape divided by the int8 time.
+  std::vector<std::array<std::int64_t, 3>> qshapes = shapes;
+  qshapes.push_back({96, 1, 384});  // dense head at serve batch 1
+  std::printf("\n=== int8 qgemm vs packed fp32 (informational) ===\n\n");
+  std::printf("  %6s %6s %6s %12s %12s %9s\n", "m", "n", "k", "fp32 GF/s",
+              "int8 GOP/s", "vs fp32");
+  struct QShapeResult {
+    std::int64_t m, n, k;
+    double fp32_gflops, int8_gops, speedup;
+  };
+  std::vector<QShapeResult> qresults;
+  Rng rng(99);
+  for (const auto& [m, n, k] : qshapes) {
+    std::vector<std::int8_t> w(static_cast<std::size_t>(m * k));
+    std::vector<std::uint8_t> x(static_cast<std::size_t>(k * n));
+    std::vector<float> scale(static_cast<std::size_t>(m));
+    std::vector<float> bias(static_cast<std::size_t>(m));
+    std::vector<float> cq(static_cast<std::size_t>(m * n));
+    std::vector<float> af(static_cast<std::size_t>(m * k));
+    std::vector<float> bf(static_cast<std::size_t>(k * n));
+    for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform_int(0, 127));
+    for (std::int64_t i = 0; i < m; ++i) {
+      scale[i] = static_cast<float>(rng.uniform(1e-3, 1e-2));
+      bias[i] = static_cast<float>(rng.uniform(-0.5, 0.5));
+    }
+    for (auto& v : af) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : bf) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const QGemmWeights qw = qgemm_pack_weights(m, k, w.data());
+    const double ops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+    const double t_q = time_kernel(
+        [&] {
+          qgemm_u7(qw, n, x.data(), n, 1, scale.data(), bias.data(), true,
+                   cq.data(), n);
+        },
+        1, reps);
+    const double t_f = time_kernel(
+        [&] { sgemm(m, n, k, 1.0f, af.data(), bf.data(), 0.0f, cq.data()); },
+        1, reps);
+    qresults.push_back({m, n, k, ops / t_f * 1e-9, ops / t_q * 1e-9,
+                        t_f / t_q});
+    std::printf("  %6lld %6lld %6lld %12.2f %12.2f %8.2fx\n",
+                static_cast<long long>(m), static_cast<long long>(n),
+                static_cast<long long>(k), ops / t_f * 1e-9, ops / t_q * 1e-9,
+                t_f / t_q);
+  }
+
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (f) {
     std::fprintf(f, "{\n  \"bench\": \"gemm\",\n  \"shapes\": [\n");
@@ -52,6 +110,17 @@ int main(int argc, char** argv) {
                    static_cast<long long>(r.k), r.seed_gflops,
                    r.packed_gflops, r.speedup,
                    i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"int8_shapes\": [\n");
+    for (std::size_t i = 0; i < qresults.size(); ++i) {
+      const QShapeResult& r = qresults[i];
+      std::fprintf(f,
+                   "    {\"m\": %lld, \"n\": %lld, \"k\": %lld, "
+                   "\"fp32_gflops\": %.3f, \"int8_gops\": %.3f, "
+                   "\"vs_fp32\": %.3f}%s\n",
+                   static_cast<long long>(r.m), static_cast<long long>(r.n),
+                   static_cast<long long>(r.k), r.fp32_gflops, r.int8_gops,
+                   r.speedup, i + 1 < qresults.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"min_mergenet_speedup\": %.3f\n}\n",
                  min_speedup_merge);

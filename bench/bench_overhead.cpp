@@ -65,6 +65,10 @@ int main(int argc, char** argv) {
   cfg.min_dim = static_cast<index_t>(cli.get_int("overhead-min-dim", 4096));
   cfg.max_dim = static_cast<index_t>(cli.get_int("overhead-max-dim", 16384));
   const std::string json_path = cli.get_string("json", "BENCH_infer.json");
+  // Int8 cold-miss section (DESIGN.md §13): times the quantized forward
+  // against the fp32 forward on the same prepared representations and
+  // gates >= 2x latency reduction at <= 1pt selection-accuracy drop.
+  const bool quantize = cli.get_bool("quantize", true);
   cli.check_unused();
 
   std::printf("=== §7.6: prediction overhead vs one CSR SpMV iteration ===\n");
@@ -90,6 +94,13 @@ int main(int argc, char** argv) {
   opts.train.epochs = std::max(2, cfg.epochs / 3);
   FormatSelector sel(opts);
   sel.fit(lc.labeled, platform->formats());
+  FormatSelector qsel = sel.clone();
+  if (quantize) {
+    const Dataset calib =
+        build_dataset(lc.labeled, platform->formats(), opts.mode, cfg.size,
+                      cfg.bins, opts.rep_sample_nnz);
+    qsel.quantize(calib);
+  }
 
   double sum_rep = 0.0, sum_inf = 0.0, sum_feat = 0.0, sum_tree = 0.0;
   double sum_rep_s = 0.0, sum_inf_s = 0.0;  // absolute seconds per matrix
@@ -103,6 +114,10 @@ int main(int argc, char** argv) {
   std::int64_t exact_correct = 0;     // exact-rep picks matching the label
   std::int64_t stream_correct = 0;    // streamed-rep picks matching it
   std::uint64_t steady_allocs = 0;  // heap allocs in warm build loops
+  // Int8 section: forward-only latency (the model-inference step of the
+  // cold miss; representation building is shared by both paths) and picks.
+  double sum_fwd_s = 0.0, sum_qfwd_s = 0.0;
+  std::int64_t q_correct = 0, q_agree = 0;
   std::vector<double> conv_sums(cpu_formats().size(), 0.0);
   std::int64_t measured = 0;
 
@@ -151,9 +166,17 @@ int main(int argc, char** argv) {
     // regression.
     const std::int32_t pick_exact = sel.predict_prepared(
         {make_inputs(a, RepMode::kHistogram, cfg.size, cfg.bins)})[0];
-    const std::int32_t pick_stream =
-        sel.predict_prepared({builder.build(a)})[0];
+    const std::vector<std::vector<Tensor>> prepared = {builder.build(a)};
+    const std::int32_t pick_stream = sel.predict_prepared(prepared)[0];
     rep_agree += pick_exact == pick_stream;
+    if (quantize) {
+      const std::int32_t pick_q = qsel.predict_prepared(prepared)[0];
+      q_correct += pick_q == lc.labeled[mi].label;
+      q_agree += pick_q == pick_stream;
+      sum_fwd_s += time_kernel([&] { sel.predict_prepared(prepared); }, 1, 3);
+      sum_qfwd_s +=
+          time_kernel([&] { qsel.predict_prepared(prepared); }, 1, 3);
+    }
     exact_correct += pick_exact == lc.labeled[mi].label;
     stream_correct += pick_stream == lc.labeled[mi].label;
     const double t_inf = time_kernel([&] { sel.predict_index(a); }, 0, 2);
@@ -252,6 +275,24 @@ int main(int argc, char** argv) {
   json.field("rep_agreement", agreement);
   json.field("rep_accuracy_exact", acc_exact);
   json.field("rep_accuracy_stream", acc_stream);
+  const double q_speedup = sum_qfwd_s > 0.0 ? sum_fwd_s / sum_qfwd_s : 0.0;
+  const double acc_q =
+      static_cast<double>(q_correct) / static_cast<double>(measured);
+  const double q_agreement =
+      static_cast<double>(q_agree) / static_cast<double>(measured);
+  json.field("quantized", quantize);
+  if (quantize) {
+    std::printf("\n  int8 cold-miss forward (single matrix, same reps):\n");
+    std::printf("    fp32 %8.1f us   int8 %8.1f us   speedup %.2fx\n",
+                sum_fwd_s * inv * 1e6, sum_qfwd_s * inv * 1e6, q_speedup);
+    std::printf("    accuracy fp32 %.3f  int8 %.3f  agreement %.3f\n",
+                acc_stream, acc_q, q_agreement);
+    json.field("fp32_forward_latency_s", sum_fwd_s * inv);
+    json.field("int8_forward_latency_s", sum_qfwd_s * inv);
+    json.field("int8_speedup", q_speedup);
+    json.field("int8_accuracy", acc_q);
+    json.field("int8_agreement", q_agreement);
+  }
   json.end_object();
   if (json.write_file(json_path))
     std::printf("  wrote %s\n", json_path.c_str());
@@ -280,5 +321,18 @@ int main(int argc, char** argv) {
       rep_speedup, static_cast<long long>(large), rep_speedup_all,
       static_cast<unsigned long long>(steady_allocs), acc_stream, acc_exact,
       agreement, rep_gates ? "PASS" : "FAIL");
-  return shape_holds && rep_gates ? 0 : 1;
+  // Int8 gates (DESIGN.md §13): the quantized forward must at least halve
+  // the cold-miss model-inference latency while giving up no more than 1pt
+  // of selection accuracy against the fp32 forward on the same
+  // representations (floored at one pick, like the streaming gate).
+  bool quant_gates = true;
+  if (quantize) {
+    quant_gates = q_speedup >= 2.0 && acc_q >= acc_stream - acc_tol;
+    std::printf(
+        "int8 gates (forward speedup %.2fx >= 2x; accuracy %.3f int8 vs "
+        "%.3f fp32, agreement %.3f): %s\n",
+        q_speedup, acc_q, acc_stream, q_agreement,
+        quant_gates ? "PASS" : "FAIL");
+  }
+  return shape_holds && rep_gates && quant_gates ? 0 : 1;
 }

@@ -3,7 +3,7 @@
 // threads, then read the metrics block.
 //
 //   ./serve_demo [--clients 4] [--requests 400] [--replicas 0]
-//                [--online 0] [--trace trace.json]
+//                [--online 0] [--quantize 0] [--trace trace.json]
 //
 // --replicas 0 (default) serves through a single SelectionService; N >= 1
 // builds a ReplicaRouter with N replicas (consistent-hash sharding, NUMA-
@@ -18,6 +18,10 @@
 // ModelRegistry, which workers hot-swap to between micro-batches. The
 // exit block reports versions published, hot swaps observed, and feedback
 // stream accounting.
+//
+// --quantize 1 calibrates the trained CNN and serves int8 weights on the
+// cold-miss path (the same per-channel scheme bench_overhead gates at
+// >= 2x forward speedup); online publishes stay quantized too.
 //
 // With --trace, span tracing is enabled for the serving phase and a
 // chrome://tracing / Perfetto-loadable dump of every request's pipeline
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("requests", 400));
   const int replicas = static_cast<int>(cli.get_int("replicas", 0));
   const bool online = cli.get_int("online", 0) != 0;
+  const bool quantize = cli.get_int("quantize", 0) != 0;
   const std::string trace_path = cli.get_string("trace", "");
   cli.check_unused();
   if (online && replicas > 0) {
@@ -65,8 +70,11 @@ int main(int argc, char** argv) {
   sopts.rep_rows = 16;
   sopts.rep_bins = 8;
   sopts.train.epochs = 8;
+  sopts.quantize = quantize;
   FormatSelector selector(sopts);
   selector.fit(labeled, platform->formats());
+  if (selector.quantized())
+    std::printf("selector quantized: cold misses run the int8 forward\n");
 
   // 2. The serving layer: sharded LRU cache in front, micro-batching
   //    workers behind a bounded queue — one service, or a router fanning

@@ -30,6 +30,13 @@ void check_compatible(const FormatSelector& boot, const FormatSelector& next) {
                      errc::invalid_argument,
                      "published model changes the representation geometry; "
                      "incompatible versions need a new registry");
+  // Quantization is part of the serving contract too: a fleet serving int8
+  // latencies must not silently adopt an fp32 model (or vice versa) — the
+  // cold-miss budget and the numerics both change.
+  DNNSPMV_CHECK_ERRC(boot.quantized() == next.quantized(),
+                     errc::invalid_argument,
+                     "published model changes quantization; "
+                     "incompatible versions need a new registry");
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <fstream>
 
+#include <numeric>
+
 #include "common/error.hpp"
+#include "core/trainer.hpp"
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
 
@@ -58,6 +61,7 @@ void FormatSelector::fit(const std::vector<LabeledMatrix>& labeled,
   const CnnSpec spec = make_spec();
   net_ = std::make_unique<MergeNet>(build_cnn(spec));
   train_cnn(*net_, ds, num_net_inputs(spec), opts_.train);
+  if (opts_.quantize) quantize(ds);
 }
 
 void FormatSelector::fit(const Dataset& train) {
@@ -66,6 +70,32 @@ void FormatSelector::fit(const Dataset& train) {
   const CnnSpec spec = make_spec();
   net_ = std::make_unique<MergeNet>(build_cnn(spec));
   train_cnn(*net_, train, num_net_inputs(spec), opts_.train);
+  if (opts_.quantize) quantize(train);
+}
+
+void FormatSelector::quantize(const Dataset& calib) {
+  DNNSPMV_CHECK_MSG(net_, "quantize an untrained FormatSelector");
+  DNNSPMV_CHECK_MSG(!calib.samples.empty(),
+                    "quantize needs a calibration dataset");
+  const int ninputs = num_net_inputs(make_spec());
+  const std::int64_t cap =
+      std::min<std::int64_t>(opts_.quant.max_calib_samples,
+                             static_cast<std::int64_t>(calib.samples.size()));
+  const std::int64_t bs = std::max(1, opts_.train.batch);
+  std::vector<std::vector<Tensor>> batches;
+  for (std::int64_t i = 0; i < cap; i += bs) {
+    std::vector<std::int32_t> idx;
+    for (std::int64_t j = i; j < std::min(cap, i + bs); ++j)
+      idx.push_back(static_cast<std::int32_t>(j));
+    batches.push_back(assemble_batch(calib, idx, ninputs));
+  }
+  // The calibration walk runs forwards through the shared net scratch, so
+  // it takes the same lock predictions do.
+  std::lock_guard<std::mutex> lock(*infer_mu_);
+  qws_ = std::make_unique<QuantizedWeightSet>(
+      quantize_merge_net(*net_, batches, opts_.quant));
+  qnet_ = std::make_unique<QuantizedMergeNet>(*net_, *qws_);
+  opts_.quantize = true;
 }
 
 std::vector<Tensor> FormatSelector::prepare_inputs(const Csr& a) const {
@@ -88,6 +118,18 @@ std::vector<std::int32_t> FormatSelector::predict_prepared(
   // One forward over the whole batch; the lock covers only inference, not
   // the representation work above.
   std::lock_guard<std::mutex> lock(*infer_mu_);
+  if (qnet_) {
+    // Quantized cold-miss path: same batch assembly, int8 forward. The
+    // lock still applies — the executor shares the net's fp32 pool layers
+    // (mutable argmax scratch).
+    std::vector<std::int32_t> idx(batch.samples.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    const std::vector<Tensor> inputs =
+        assemble_batch(batch, idx, num_net_inputs(make_spec()));
+    Tensor logits;
+    qnet_->forward(inputs, logits);
+    return argmax_rows(logits);
+  }
   return predict_cnn(*net_, batch, num_net_inputs(make_spec()),
                      static_cast<int>(prepared.size()), ws);
 }
@@ -143,6 +185,12 @@ FormatSelector FormatSelector::clone() const {
   out.model_version_ = model_version_;
   out.net_ = std::make_unique<MergeNet>(build_cnn(out.make_spec()));
   copy_params(const_cast<MergeNet&>(*net_).params(), out.net_->params());
+  if (qws_) {
+    // The weight set is pure data; the executor is rebuilt over the
+    // clone's net so each lane has private int8 scratch.
+    out.qws_ = std::make_unique<QuantizedWeightSet>(*qws_);
+    out.qnet_ = std::make_unique<QuantizedMergeNet>(*out.net_, *out.qws_);
+  }
   return out;
 }
 
@@ -157,6 +205,11 @@ FormatSelector FormatSelector::migrate(MigrationMethod method,
   out.candidates_ = candidates_;
   out.net_ = std::make_unique<MergeNet>(
       migrate_model(make_spec(), *net_, method, target_train, cfg));
+  // Re-quantize on the migration target: the fine-tuned weights get fresh
+  // scales and the calibration distribution matches the data the migrated
+  // model will serve. This is what keeps online publishes quantized —
+  // OnlineTrainer migrates onto its replay dataset before every publish.
+  if (out.opts_.quantize) out.quantize(target_train);
   return out;
 }
 
@@ -166,7 +219,8 @@ void FormatSelector::save(const std::string& path) const {
   DNNSPMV_CHECK_MSG(os.is_open(), "cannot open " << path << " for write");
   // Versioned weight set: the header carries the registry version the
   // weights were published as, so a reloaded model keeps its provenance.
-  save_weight_set_header(os, WeightSetHeader{1, model_version_});
+  // v2 adds the quantize flag and the optional QuantizedWeightSet trailer.
+  save_weight_set_header(os, WeightSetHeader{2, model_version_});
   const auto mode = static_cast<std::int32_t>(opts_.mode);
   os.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
   os.write(reinterpret_cast<const char*>(&opts_.rep_rows), sizeof(opts_.rep_rows));
@@ -175,6 +229,8 @@ void FormatSelector::save(const std::string& path) const {
            sizeof(opts_.rep_sample_nnz));
   const std::int32_t late = opts_.late_merge ? 1 : 0;
   os.write(reinterpret_cast<const char*>(&late), sizeof(late));
+  const std::int32_t quant = qws_ ? 1 : 0;
+  os.write(reinterpret_cast<const char*>(&quant), sizeof(quant));
   const auto ncand = static_cast<std::int32_t>(candidates_.size());
   os.write(reinterpret_cast<const char*>(&ncand), sizeof(ncand));
   for (Format f : candidates_) {
@@ -182,6 +238,7 @@ void FormatSelector::save(const std::string& path) const {
     os.write(reinterpret_cast<const char*>(&fi), sizeof(fi));
   }
   save_params(os, const_cast<MergeNet&>(*net_).params());
+  if (qws_) qws_->save(os);
 }
 
 FormatSelector FormatSelector::load(const std::string& path) {
@@ -199,10 +256,16 @@ FormatSelector FormatSelector::load(const std::string& path) {
   is.read(reinterpret_cast<char*>(&opts.rep_sample_nnz),
           sizeof(opts.rep_sample_nnz));
   is.read(reinterpret_cast<char*>(&late), sizeof(late));
+  std::int32_t quant = 0;
+  // The quantize flag exists from format v2 on; v1 and legacy pre-header
+  // files are always fp32.
+  if (header.format_version >= 2)
+    is.read(reinterpret_cast<char*>(&quant), sizeof(quant));
   is.read(reinterpret_cast<char*>(&ncand), sizeof(ncand));
   DNNSPMV_CHECK_MSG(is.good() && ncand >= 2, "corrupt selector file");
   opts.mode = static_cast<RepMode>(mode);
   opts.late_merge = late != 0;
+  opts.quantize = quant != 0;
   FormatSelector sel(opts);
   for (std::int32_t i = 0; i < ncand; ++i) {
     std::int32_t fi = 0;
@@ -212,6 +275,14 @@ FormatSelector FormatSelector::load(const std::string& path) {
   sel.model_version_ = header.model_version;
   sel.net_ = std::make_unique<MergeNet>(build_cnn(sel.make_spec()));
   load_params(is, sel.net_->params());
+  if (quant != 0) {
+    // The executor constructor validates the weight set against the
+    // freshly built net (layer kinds + shapes) and throws errc::data_error
+    // when the file does not match this architecture.
+    sel.qws_ = std::make_unique<QuantizedWeightSet>(
+        QuantizedWeightSet::load(is));
+    sel.qnet_ = std::make_unique<QuantizedMergeNet>(*sel.net_, *sel.qws_);
+  }
   return sel;
 }
 

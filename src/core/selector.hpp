@@ -15,6 +15,7 @@
 #include "core/represent.hpp"
 #include "core/transfer.hpp"
 #include "ml/features.hpp"
+#include "nn/quant.hpp"
 #include "perf/labels.hpp"
 
 namespace dnnspmv {
@@ -30,6 +31,17 @@ struct SelectorOptions {
   // bit-identical across the two.
   std::int64_t rep_sample_nnz = kDefaultRepSampleNnz;
   bool late_merge = true;
+  // Post-training int8 quantization of the inference path (DESIGN.md §13):
+  // fit() calibrates on the training slice and predictions run the int8
+  // kernels; migrate() re-calibrates on the target dataset, so online
+  // publishes stay quantized. Rides save/load (v2 weight-set format) and
+  // clone(), and is validated by ModelRegistry::publish like the rep
+  // geometry.
+  bool quantize = false;
+  // Representation tensors are normalized and bounded (no outlier tail),
+  // so exact-range calibration beats percentile clipping here — it keeps
+  // the top of the activation range instead of saturating it.
+  QuantConfig quant{.observer = QuantConfig::Observer::kMinMax};
   TrainConfig train;
 };
 
@@ -102,6 +114,19 @@ class FormatSelector {
   bool trained() const { return net_ != nullptr; }
   MergeNet& net();
 
+  /// Calibrates on `calib` (observer pass over its samples) and converts
+  /// the net to int8 inference. Subsequent predictions run the quantized
+  /// kernels; the fp32 weights stay untouched (training/migration still
+  /// works). Called automatically by fit()/migrate() when
+  /// SelectorOptions::quantize is set; public so an already-trained
+  /// selector can be quantized after the fact.
+  void quantize(const Dataset& calib);
+  bool quantized() const { return qws_ != nullptr; }
+
+  /// The quantized weight set, or null when not quantized. Exposed for
+  /// serialization tests; treat as read-only.
+  const QuantizedWeightSet* quantized_weights() const { return qws_.get(); }
+
   /// Version of this weight set in its ModelRegistry's numbering: 0 for a
   /// model that was never published (offline training, ad-hoc clones);
   /// >= 1 once stamped by ModelRegistry::publish. Rides clone(), save()
@@ -132,6 +157,11 @@ class FormatSelector {
   std::vector<Format> candidates_;
   std::uint64_t model_version_ = 0;
   std::unique_ptr<MergeNet> net_;  // unique_ptr: MergeNet is move-averse
+  // Int8 inference state: the serializable weight set and the compiled
+  // executor over net_. Both null on fp32 selectors; rebuilt (never
+  // shared) on clone so every inference lane owns its scratch.
+  std::unique_ptr<QuantizedWeightSet> qws_;
+  std::unique_ptr<QuantizedMergeNet> qnet_;
   // Serializes forward passes (MergeNet scratch is not re-entrant); in a
   // unique_ptr so the selector stays movable.
   std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();

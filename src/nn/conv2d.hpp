@@ -33,6 +33,9 @@ class Conv2D final : public Layer {
 
   std::int64_t in_channels() const { return in_channels_; }
   std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel_size() const { return k_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t padding() const { return pad_; }
 
  private:
   ConvGeom geom(const std::vector<std::int64_t>& in_shape) const;

@@ -23,8 +23,15 @@ class MaxPool2D final : public Layer {
       const std::vector<std::int64_t>& in) const override;
 
  private:
+  /// Fills argmax_ with the flat input offset of each window's maximum
+  /// (first occurrence in row-major window order, as forward records it).
+  void record_argmax(const Tensor& in, Tensor& out);
+
   std::int64_t k_, stride_;
   std::vector<std::int32_t> argmax_;  // flat input offset of each max
+  // False after an inference forward (which skips the bookkeeping);
+  // backward then rebuilds argmax_ from the inputs before routing.
+  bool argmax_valid_ = false;
 };
 
 }  // namespace dnnspmv

@@ -1,0 +1,179 @@
+// Post-training int8 quantization of a MergeNet (DESIGN.md §13).
+//
+// The flow mirrors the torch.ao.quantization observer → calibrate → convert
+// idiom:
+//
+//   1. *Observe.* A calibration pass walks the fp32 net layer by layer over
+//      a held-out corpus slice, recording the input distribution of every
+//      conv/dense layer with a MinMaxObserver (exact range) and a
+//      HistogramObserver (percentile range — robust to single outliers).
+//   2. *Convert.* Weights quantize per output channel with symmetric int8
+//      scales (s_w[i] = max|W[i,:]| / 127); activations get one affine
+//      7-bit scale/zero-point per layer input from the observed range.
+//      The result is a QuantizedWeightSet: pure, serializable data.
+//   3. *Execute.* QuantizedMergeNet compiles net + weight set into an
+//      inference plan: per layer, quantize the input to u7, run the int8
+//      GEMM (gemm.hpp qgemm_u7, weights pre-packed at convert time), and
+//      dequantize in the kernel epilogue with the zero-point correction
+//      folded into an effective bias:
+//
+//        y[i] = s_w[i]·s_x·(acc[i] − zp·Σ_p Wq[i,p]) + b[i]
+//             = acc[i]·out_scale[i] + bias_eff[i].
+//
+//      A ReLU directly after a quantized layer fuses into the epilogue and
+//      Dropout is elided (inference identity), so a cold-miss forward runs
+//      fewer passes than the fp32 path on top of the cheaper kernel.
+//
+// Activations use [0, 127] rather than the full u8 range: maddubs
+// accumulates byte-pair products in int16, and 2·127·127 is the largest
+// pair sum that cannot saturate — correctness over one bit of precision.
+//
+// Everything here is deterministic: fixed observation order, scalar
+// quantization arithmetic, and a kernel whose SIMD/scalar paths are
+// bit-identical, so calibrating twice on the same data yields byte-equal
+// weight sets and predictions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "nn/merge_net.hpp"
+#include "tensor/gemm.hpp"
+
+namespace dnnspmv {
+
+class Conv2D;
+class Dense;
+
+/// Exact running range of everything observed.
+class MinMaxObserver {
+ public:
+  void observe(const float* x, std::int64_t n);
+  bool seen() const { return seen_; }
+  float lo() const { return seen_ ? lo_ : 0.0f; }
+  float hi() const { return seen_ ? hi_ : 0.0f; }
+
+ private:
+  float lo_ = 0.0f, hi_ = 0.0f;
+  bool seen_ = false;
+};
+
+/// |x| histogram with a power-of-two growing range: when a sample exceeds
+/// the current range the range doubles and adjacent bin pairs merge, so
+/// early observations keep their (coarsened) mass. percentile(p) returns
+/// the |x| bound covering p% of observed mass — the calibration range that
+/// ignores the tail a lone outlier would otherwise stretch.
+class HistogramObserver {
+ public:
+  explicit HistogramObserver(std::int64_t bins = 2048);
+  void observe(const float* x, std::int64_t n);
+  float percentile(double pct) const;
+  std::int64_t total() const { return total_; }
+
+ private:
+  std::vector<std::int64_t> counts_;
+  float range_ = 0.0f;
+  std::int64_t total_ = 0;
+};
+
+struct QuantConfig {
+  enum class Observer : std::uint8_t { kMinMax = 0, kPercentile = 1 };
+  Observer observer = Observer::kPercentile;
+  /// Percentile of observed |x| mass kept inside the clipping range.
+  double percentile = 99.9;
+  /// Calibration budget: at most this many held-out samples are walked.
+  std::int64_t max_calib_samples = 256;
+};
+
+/// One quantized conv/dense layer, addressed by (seq, index) into the
+/// MergeNet: seq ∈ [0, num_towers) is a tower, seq == -1 the head.
+struct QLayer {
+  static constexpr std::uint8_t kConv = 0;
+  static constexpr std::uint8_t kDense = 1;
+
+  std::int32_t seq = 0;
+  std::int32_t index = 0;
+  std::uint8_t kind = kConv;
+  std::int64_t rows = 0, cols = 0;  // weight matrix [rows, cols]
+  float act_scale = 1.0f;           // input x ≈ (q − act_zp)·act_scale
+  std::int32_t act_zp = 0;
+  std::vector<float> w_scale;       // [rows] per-channel symmetric scales
+  std::vector<float> bias;          // [rows] fp32 bias copy
+  std::vector<std::int8_t> wq;      // [rows·cols] quantized weights
+};
+
+/// The serializable product of convert: plain data, no pointers into the
+/// net, copyable between clones. Rides the v2 weight-set format as a
+/// trailer block after the fp32 params (selector.cpp).
+struct QuantizedWeightSet {
+  std::vector<QLayer> layers;
+
+  bool empty() const { return layers.empty(); }
+  const QLayer* find(std::int32_t seq, std::int32_t index) const;
+
+  void save(std::ostream& os) const;
+  static QuantizedWeightSet load(std::istream& is);
+};
+
+/// Quantizes W[rows, cols] per row: scales[i] = max|W[i,:]|/127 (1.0 for an
+/// all-zero row), wq = clamp(round(W/scale), −127, 127).
+void quantize_weights_per_channel(const float* w, std::int64_t rows,
+                                  std::int64_t cols, std::int8_t* wq,
+                                  float* scales);
+
+/// Observer + calibrate + convert in one pass: walks `calib` (one Tensor
+/// per tower per batch, NCHW) through the net, observes every conv/dense
+/// input, and returns the quantized weight set. Deterministic for a fixed
+/// net and calibration set.
+QuantizedWeightSet quantize_merge_net(
+    MergeNet& net, const std::vector<std::vector<Tensor>>& calib,
+    const QuantConfig& cfg = {});
+
+/// Compiled inference plan over a net + weight set. Holds pre-packed int8
+/// weight panels, fused per-layer epilogue data, and raw byte scratch, and
+/// points into the MergeNet for the layers that stay fp32 (pool, flatten).
+/// Construction validates the weight set against the net (layer kinds and
+/// shapes) and throws errc::data_error on mismatch.
+///
+/// Thread safety: like MergeNet, an instance is NOT re-entrant — callers
+/// serialize (FormatSelector runs it under its inference mutex).
+class QuantizedMergeNet {
+ public:
+  QuantizedMergeNet(MergeNet& net, const QuantizedWeightSet& qws);
+
+  /// Quantized forward: inputs[i] feeds tower i, logits [batch, classes].
+  void forward(const std::vector<Tensor>& inputs, Tensor& logits);
+
+ private:
+  struct Op {
+    enum class Kind : std::uint8_t { kLayer, kConv, kDense };
+    Kind kind = Kind::kLayer;
+    Layer* layer = nullptr;    // kLayer: run the fp32 forward
+    Conv2D* conv = nullptr;    // kConv
+    Dense* dense = nullptr;    // kDense
+    QGemmWeights packed;       // pre-packed int8 panels
+    std::vector<float> out_scale;  // w_scale[i]·act_scale
+    std::vector<float> bias_eff;   // bias[i] − out_scale[i]·zp·Σ Wq[i,:]
+    float act_inv_scale = 1.0f;
+    std::int32_t act_zp = 0;
+    bool relu = false;  // ReLU fused into the epilogue
+  };
+
+  void compile(Sequential& seq, std::int32_t seq_id,
+               const QuantizedWeightSet& qws, std::vector<Op>& plan);
+  void run(std::vector<Op>& plan, const Tensor& in, Tensor& out);
+  void run_conv(Op& op, const Tensor& in, Tensor& out);
+  void run_dense(Op& op, const Tensor& in, Tensor& out);
+
+  MergeNet* net_;
+  std::vector<std::vector<Op>> tower_plans_;
+  std::vector<Op> head_plan_;
+  Workspace ws_;                    // scratch for the fp32 passthrough ops
+  Tensor ping_, pong_, merged_;     // inter-layer activations
+  std::vector<Tensor> tower_out_;
+  std::vector<std::uint8_t> qin_, qcol_;  // quantized input / col matrix
+  std::vector<float> mat_;                // GEMM staging (batch > 1)
+};
+
+}  // namespace dnnspmv

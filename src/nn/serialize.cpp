@@ -46,8 +46,10 @@ bool read_weight_set_header(std::istream& is, WeightSetHeader& h) {
     return false;
   }
   read_pod(is, h.format_version);
-  DNNSPMV_CHECK_MSG(h.format_version == 1, "unknown weight-set format version "
-                                               << h.format_version);
+  // v1: header + fp32 params. v2 (PR 9): adds the quantize flag to the
+  // selector options block and an optional QuantizedWeightSet trailer.
+  DNNSPMV_CHECK_MSG(h.format_version >= 1 && h.format_version <= 2,
+                    "unknown weight-set format version " << h.format_version);
   read_pod(is, h.model_version);
   return true;
 }

@@ -208,49 +208,6 @@ class SelectionService {
   /// request carries neither a matrix nor enough precomputed pieces.
   std::future<std::int32_t> submit(Request&& req);
 
-  /// Deprecated forwarders — one release of grace for the pre-unification
-  /// entry points. Thin inline Request builders; new code passes a
-  /// Request directly.
-  [[deprecated("use submit(Request&&)")]]
-  std::future<std::int32_t> submit(const Csr& a,
-                                   std::optional<std::chrono::microseconds>
-                                       deadline = std::nullopt) {
-    Request r;
-    r.matrix = &a;
-    r.deadline = deadline;
-    return submit(std::move(r));
-  }
-
-  [[deprecated("use submit(Request&&) with stats+fingerprint set")]]
-  std::future<std::int32_t> submit_fingerprinted(
-      const Csr& a, const MatrixStats& st, std::uint64_t fp,
-      std::optional<std::chrono::microseconds> deadline = std::nullopt,
-      DoneCallback done = nullptr,
-      std::vector<Tensor>* retain_inputs = nullptr) {
-    Request r;
-    r.matrix = &a;
-    r.stats = st;
-    r.fingerprint = fp;
-    r.deadline = deadline;
-    r.done = std::move(done);
-    r.retain_inputs = retain_inputs;
-    return submit(std::move(r));
-  }
-
-  [[deprecated("use submit(Request&&) with inputs set")]]
-  std::future<std::int32_t> submit_prepared(
-      const MatrixStats& st, std::uint64_t fp, std::vector<Tensor> inputs,
-      std::optional<std::chrono::microseconds> deadline = std::nullopt,
-      DoneCallback done = nullptr) {
-    Request r;
-    r.stats = st;
-    r.fingerprint = fp;
-    r.inputs = std::move(inputs);
-    r.deadline = deadline;
-    r.done = std::move(done);
-    return submit(std::move(r));
-  }
-
   /// Closes the queue, drains in-flight requests, joins workers.
   /// Idempotent; also called by the destructor.
   void shutdown();

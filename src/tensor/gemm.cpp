@@ -1,7 +1,9 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "tensor/pack.hpp"
@@ -410,7 +412,351 @@ void gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Int8 micro-kernels (see gemm.hpp for the contract). The integer
+// accumulation is exact, so the only arithmetic that could diverge between
+// SIMD and scalar is the fp32 epilogue — both paths use one fused
+// multiply-add (std::fmaf / _mm256_fmadd_ps: single rounding, same result)
+// and the same max-against-+0.0 ReLU, which keeps them bit-identical. The
+// scalar kernel is always compiled: it is the reference the property tests
+// compare against and the fallback for non-AVX2 builds.
+
+void qkernel_scalar(std::int64_t kq, const std::int8_t* ap,
+                    const std::uint8_t* bp, float* c, std::int64_t ldc,
+                    std::int64_t mr, std::int64_t nr, const float* scale,
+                    const float* bias, bool relu) {
+  std::int32_t acc[kMR][kNR] = {};
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const std::int8_t* arow = ap + q * kQuadA;
+    const std::uint8_t* brow = bp + q * kQuadB;
+    for (std::int64_t i = 0; i < mr; ++i) {
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        std::int32_t s = 0;
+        for (std::int64_t t = 0; t < kQK; ++t)
+          s += static_cast<std::int32_t>(arow[i * kQK + t]) *
+               static_cast<std::int32_t>(brow[j * kQK + t]);
+        acc[i][j] += s;
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    const float sv = scale[i];
+    const float bv = bias ? bias[i] : 0.0f;
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) {
+      float v = std::fmaf(static_cast<float>(acc[i][j]), sv, bv);
+      // Matches _mm256_max_ps(v, +0.0): -0.0 maps to +0.0.
+      if (relu) v = v > 0.0f ? v : 0.0f;
+      crow[j] = v;
+    }
+  }
+}
+
+// GEMV twin of the kernel above, for n == 1 (the cold-miss dense layers):
+// one int32 accumulator per row, weights read from the [group][quad][8][4]
+// gemv packing, the activation quad shared across the 8 rows of a group.
+// Integer accumulation is exact, so this evaluation order produces the
+// same acc — and with the same fmaf epilogue the same bits — as the tiled
+// kernel would.
+void qgemv_scalar(std::int64_t kq, const std::int8_t* gv,
+                  const std::uint8_t* xq, std::int64_t mr, const float* scale,
+                  const float* bias, bool relu, float* c, std::int64_t ldc) {
+  std::int32_t acc[8] = {};
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const std::int8_t* wrow = gv + q * 32;
+    const std::uint8_t* x = xq + q * kQK;
+    for (std::int64_t r = 0; r < 8; ++r) {
+      std::int32_t s = 0;
+      for (std::int64_t t = 0; t < kQK; ++t)
+        s += static_cast<std::int32_t>(wrow[r * kQK + t]) *
+             static_cast<std::int32_t>(x[t]);
+      acc[r] += s;
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    float v = std::fmaf(static_cast<float>(acc[r]), scale[r],
+                        bias ? bias[r] : 0.0f);
+    if (relu) v = v > 0.0f ? v : 0.0f;
+    c[r * ldc] = v;
+  }
+}
+
+#ifdef DNNSPMV_GEMM_AVX2
+
+// MR rows × 16 columns per call: 12 int32 accumulators + 2 B vectors + 1
+// broadcast + the i16 ones vector fill the ymm file like the fp32 kernel.
+// Per depth quad: one 32-byte B load covers 8 columns × 4 depths
+// (pack_b_panel_u8 layout), the 4 weight bytes of row i broadcast as one
+// dword, and maddubs (unsigned B × signed A) + madd-by-ones reduce the
+// quad into each column's int32 lane.
+template <int MR>
+inline void qkernel_avx2(std::int64_t kq, const std::int8_t* ap,
+                         const std::uint8_t* bp, float* c, std::int64_t ldc,
+                         std::int64_t nr, const float* scale,
+                         const float* bias, bool relu) {
+  __m256i acc0[MR], acc1[MR];
+  for (int i = 0; i < MR; ++i) {
+    acc0[i] = _mm256_setzero_si256();
+    acc1[i] = _mm256_setzero_si256();
+  }
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kQuadB));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kQuadB + 32));
+    const std::int8_t* arow = ap + q * kQuadA;
+    for (int i = 0; i < MR; ++i) {
+      std::int32_t aq;
+      std::memcpy(&aq, arow + i * kQK, sizeof(aq));
+      const __m256i av = _mm256_set1_epi32(aq);
+      const __m256i p0 = _mm256_maddubs_epi16(b0, av);
+      const __m256i p1 = _mm256_maddubs_epi16(b1, av);
+      acc0[i] = _mm256_add_epi32(acc0[i], _mm256_madd_epi16(p0, ones));
+      acc1[i] = _mm256_add_epi32(acc1[i], _mm256_madd_epi16(p1, ones));
+    }
+  }
+  const std::int64_t n0 = std::min<std::int64_t>(nr, 8);
+  const std::int64_t n1 = nr - n0;
+  const __m256i m0 = tail_mask(n0);
+  const __m256i m1 = tail_mask(n1);
+  const __m256 zero = _mm256_setzero_ps();
+  for (int i = 0; i < MR; ++i) {
+    const __m256 sv = _mm256_set1_ps(scale[i]);
+    const __m256 bv = _mm256_set1_ps(bias ? bias[i] : 0.0f);
+    __m256 v0 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(acc0[i]), sv, bv);
+    __m256 v1 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(acc1[i]), sv, bv);
+    if (relu) {
+      v0 = _mm256_max_ps(v0, zero);
+      v1 = _mm256_max_ps(v1, zero);
+    }
+    float* crow = c + i * ldc;
+    if (n0 == 8)
+      _mm256_storeu_ps(crow, v0);
+    else
+      _mm256_maskstore_ps(crow, m0, v0);
+    if (n1 == 8)
+      _mm256_storeu_ps(crow + 8, v1);
+    else if (n1 > 0)
+      _mm256_maskstore_ps(crow + 8, m1, v1);
+  }
+}
+
+// 8 rows per call: the activation quad broadcasts as one dword (unsigned
+// maddubs operand), a 32-byte load covers the group's 8 row-quads.
+inline void qgemv_avx2(std::int64_t kq, const std::int8_t* gv,
+                       const std::uint8_t* xq, std::int64_t mr,
+                       const float* scale, const float* bias, bool relu,
+                       float* c, std::int64_t ldc) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (std::int64_t q = 0; q < kq; ++q) {
+    std::int32_t xd;
+    std::memcpy(&xd, xq + q * kQK, sizeof(xd));
+    const __m256i xv = _mm256_set1_epi32(xd);
+    const __m256i wv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(gv + q * 32));
+    const __m256i p = _mm256_maddubs_epi16(xv, wv);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(p, ones));
+  }
+  const __m256i m = tail_mask(mr);
+  const __m256 sv =
+      mr == 8 ? _mm256_loadu_ps(scale) : _mm256_maskload_ps(scale, m);
+  const __m256 bv =
+      bias ? (mr == 8 ? _mm256_loadu_ps(bias) : _mm256_maskload_ps(bias, m))
+           : _mm256_setzero_ps();
+  __m256 v = _mm256_fmadd_ps(_mm256_cvtepi32_ps(acc), sv, bv);
+  if (relu) v = _mm256_max_ps(v, _mm256_setzero_ps());
+  if (ldc == 1) {
+    if (mr == 8)
+      _mm256_storeu_ps(c, v);
+    else
+      _mm256_maskstore_ps(c, m, v);
+    return;
+  }
+  alignas(32) float tmp[8];
+  _mm256_store_ps(tmp, v);
+  for (std::int64_t r = 0; r < mr; ++r) c[r * ldc] = tmp[r];
+}
+
+inline void qkernel_avx2_dispatch(std::int64_t kq, const std::int8_t* ap,
+                                  const std::uint8_t* bp, float* c,
+                                  std::int64_t ldc, std::int64_t mr,
+                                  std::int64_t nr, const float* scale,
+                                  const float* bias, bool relu) {
+  switch (mr) {
+    case 1: qkernel_avx2<1>(kq, ap, bp, c, ldc, nr, scale, bias, relu); return;
+    case 2: qkernel_avx2<2>(kq, ap, bp, c, ldc, nr, scale, bias, relu); return;
+    case 3: qkernel_avx2<3>(kq, ap, bp, c, ldc, nr, scale, bias, relu); return;
+    case 4: qkernel_avx2<4>(kq, ap, bp, c, ldc, nr, scale, bias, relu); return;
+    case 5: qkernel_avx2<5>(kq, ap, bp, c, ldc, nr, scale, bias, relu); return;
+    default:
+      qkernel_avx2<6>(kq, ap, bp, c, ldc, nr, scale, bias, relu);
+      return;
+  }
+}
+
+#endif  // DNNSPMV_GEMM_AVX2
+
+// Per-thread activation packing buffer (weights are pre-packed, so this is
+// the only scratch the quantized path needs).
+std::vector<std::uint8_t>& qtls_buffer() {
+  static thread_local std::vector<std::uint8_t> buf;
+  return buf;
+}
+
+// Unlike the fp32 driver there is no depth blocking: the MergeNet reduction
+// lengths (k ≤ a few hundred) fit one pass, every call is first-and-last,
+// and the dequant epilogue runs straight from registers. Each column panel
+// is packed and consumed by the same thread (pack-and-compute fused), and
+// each output tile is written exactly once — results are independent of
+// thread count because tiles never share accumulation.
+void qgemm_driver(const QGemmWeights& w, std::int64_t n,
+                  const std::uint8_t* b, std::int64_t rs_b, std::int64_t cs_b,
+                  const float* scale, const float* bias, bool relu, float* c,
+                  std::int64_t ldc, bool simd) {
+  const std::int64_t m = w.rows;
+  const std::int64_t k = w.depth;
+  if (m <= 0 || n <= 0) return;
+  const std::int64_t kq = ceil_div(k, kQK);
+#ifndef DNNSPMV_GEMM_AVX2
+  (void)simd;
+#endif
+  if (n == 1) {
+    // GEMV fast path: the tiled kernel would waste 15/16 of its column
+    // lanes on a single activation vector, which is exactly the cold-miss
+    // dense-layer shape. Exact integer accumulation + the shared fmaf
+    // epilogue keep this path bit-identical to the tiled one.
+    std::vector<std::uint8_t>& xbuf = qtls_buffer();
+    xbuf.assign(static_cast<std::size_t>(kq * kQK), 0);
+    for (std::int64_t d = 0; d < k; ++d) xbuf[d] = b[d * rs_b];
+    const std::int64_t gb = ceil_div(m, 8);
+    const std::int8_t* gv = w.gemv.data();
+    for (std::int64_t g = 0; g < gb; ++g) {
+      const std::int64_t r0 = g * 8;
+      const std::int64_t mr = std::min<std::int64_t>(m - r0, 8);
+      const std::int8_t* gvp = gv + g * kq * 32;
+      float* ct = c + r0 * ldc;
+#ifdef DNNSPMV_GEMM_AVX2
+      if (simd) {
+        qgemv_avx2(kq, gvp, xbuf.data(), mr, scale + r0,
+                   bias ? bias + r0 : nullptr, relu, ct, ldc);
+        continue;
+      }
+#endif
+      qgemv_scalar(kq, gvp, xbuf.data(), mr, scale + r0,
+                   bias ? bias + r0 : nullptr, relu, ct, ldc);
+    }
+    return;
+  }
+  const std::int64_t nb = ceil_div(n, kNR);
+  const std::int64_t mb = ceil_div(m, kMR);
+  const std::int64_t apanel = kq * kQuadA;
+  const std::int64_t bpanel = kq * kQuadB;
+  std::vector<std::uint8_t>& buf = qtls_buffer();
+  buf.resize(static_cast<std::size_t>(nb * bpanel));
+  std::uint8_t* bbuf = buf.data();
+  const std::int8_t* abuf = w.panels.data();
+  // One or two panels (the small cold-miss convs) aren't worth a fork/join.
+#pragma omp parallel for schedule(static) if (nb > 2)
+  for (std::int64_t jp = 0; jp < nb; ++jp) {
+    const std::int64_t j0 = jp * kNR;
+    const std::int64_t nr = std::min(n - j0, kNR);
+    std::uint8_t* bp = bbuf + jp * bpanel;
+    pack_b_panel_u8(k, nr, b + j0 * cs_b, rs_b, cs_b, bp);
+    for (std::int64_t ip = 0; ip < mb; ++ip) {
+      const std::int64_t i0 = ip * kMR;
+      const std::int64_t mr = std::min(m - i0, kMR);
+      float* ct = c + i0 * ldc + j0;
+#ifdef DNNSPMV_GEMM_AVX2
+      if (simd) {
+        qkernel_avx2_dispatch(kq, abuf + ip * apanel, bp, ct, ldc, mr, nr,
+                              scale + i0, bias ? bias + i0 : nullptr, relu);
+        continue;
+      }
+#endif
+      qkernel_scalar(kq, abuf + ip * apanel, bp, ct, ldc, mr, nr, scale + i0,
+                     bias ? bias + i0 : nullptr, relu);
+    }
+  }
+}
+
 }  // namespace
+
+QGemmWeights qgemm_pack_weights(std::int64_t m, std::int64_t k,
+                                const std::int8_t* a) {
+  QGemmWeights w;
+  w.rows = m;
+  w.depth = k;
+  if (m <= 0 || k <= 0) return w;
+  const std::int64_t kq = ceil_div(k, kQK);
+  const std::int64_t mb = ceil_div(m, kMR);
+  const std::int64_t apanel = kq * kQuadA;
+  w.panels.assign(static_cast<std::size_t>(mb * apanel), 0);
+  for (std::int64_t ip = 0; ip < mb; ++ip) {
+    const std::int64_t i0 = ip * kMR;
+    pack_a_panel_s8(std::min(m - i0, kMR), k, a + i0 * k, k, 1,
+                    w.panels.data() + ip * apanel);
+  }
+  // GEMV twin: [group][quad][8 rows][4 bytes], zero-padded, so the n == 1
+  // kernel reads one contiguous 32-byte vector per (group, quad).
+  const std::int64_t gb = ceil_div(m, 8);
+  w.gemv.assign(static_cast<std::size_t>(gb * kq * 32), 0);
+  for (std::int64_t g = 0; g < gb; ++g)
+    for (std::int64_t q = 0; q < kq; ++q)
+      for (std::int64_t r = 0; r < 8; ++r) {
+        const std::int64_t row = g * 8 + r;
+        if (row >= m) break;
+        for (std::int64_t t = 0; t < kQK; ++t) {
+          const std::int64_t d = q * kQK + t;
+          if (d < k) w.gemv[((g * kq + q) * 8 + r) * 4 + t] = a[row * k + d];
+        }
+      }
+  return w;
+}
+
+void quantize_u7(const float* x, std::int64_t n, float inv_scale,
+                 std::int32_t zp, std::uint8_t* q) {
+  const float zpf = static_cast<float>(zp);
+  std::int64_t i = 0;
+#ifdef DNNSPMV_GEMM_AVX2
+  // _mm256_round_ps to-nearest == std::nearbyint under the default
+  // round-to-nearest-even mode, so this produces the scalar loop's bytes.
+  const __m256 inv = _mm256_set1_ps(inv_scale);
+  const __m256 zpv = _mm256_set1_ps(zpf);
+  const __m256 lo = _mm256_setzero_ps();
+  const __m256 hi = _mm256_set1_ps(127.0f);
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_round_ps(_mm256_mul_ps(_mm256_loadu_ps(x + i), inv),
+                               _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    v = _mm256_min_ps(hi, _mm256_max_ps(lo, _mm256_add_ps(v, zpv)));
+    const __m256i w = _mm256_cvtps_epi32(v);
+    // 8×i32 → 8×u8: narrow to i16 (cross-lane fixup), then to u8.
+    const __m256i w16 = _mm256_permute4x64_epi64(
+        _mm256_packs_epi32(w, _mm256_setzero_si256()), 0b11011000);
+    const __m256i w8 = _mm256_packus_epi16(w16, _mm256_setzero_si256());
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i),
+                     _mm256_castsi256_si128(w8));
+  }
+#endif
+  for (; i < n; ++i) {
+    const float v = std::nearbyint(x[i] * inv_scale) + zpf;
+    q[i] = static_cast<std::uint8_t>(std::min(127.0f, std::max(0.0f, v)));
+  }
+}
+
+void qgemm_u7(const QGemmWeights& a, std::int64_t n, const std::uint8_t* b,
+              std::int64_t rs_b, std::int64_t cs_b, const float* scale,
+              const float* bias, bool relu, float* c, std::int64_t ldc) {
+  qgemm_driver(a, n, b, rs_b, cs_b, scale, bias, relu, c, ldc, true);
+}
+
+void qgemm_u7_ref(const QGemmWeights& a, std::int64_t n,
+                  const std::uint8_t* b, std::int64_t rs_b,
+                  std::int64_t cs_b, const float* scale, const float* bias,
+                  bool relu, float* c, std::int64_t ldc) {
+  qgemm_driver(a, n, b, rs_b, cs_b, scale, bias, relu, c, ldc, false);
+}
 
 void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
            const float* a, const float* b, float beta, float* c) {

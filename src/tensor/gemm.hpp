@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace dnnspmv {
 
@@ -40,5 +41,58 @@ void sgemm_row_bias(std::int64_t m, std::int64_t n, std::int64_t k,
 void sgemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
                        float alpha, const float* a, const float* b,
                        float beta, float* c, const float* col_bias);
+
+// ---------------------------------------------------------------------------
+// Int8 GEMM (quantized inference path, DESIGN.md §13).
+//
+// C[m,n] = dequant(Wq[m,k] · Xq[k,n]) where Wq is signed int8 (per-row
+// symmetric scales) and Xq is unsigned 7-bit [0,127] (per-tensor affine).
+// The integer product accumulates exactly in int32 — capping activations at
+// 127 keeps every `maddubs` pair sum (≤ 2·127·127) inside int16 — so SIMD
+// and scalar paths are bit-identical by construction; the epilogue applies
+// C[i,j] = fma((float)acc, scale[i], bias[i]) (one rounding in both paths)
+// with an optional fused ReLU. Zero-point handling is the caller's job:
+// fold -scale[i]·zp·Σ_p Wq[i,p] into bias[i] (quant.cpp does this).
+
+/// Weights packed once at convert time into kernel-ready kMR×4-quad panels
+/// (pack_a_panel_s8 layout). Cold-miss inference re-packs nothing on the
+/// weight side — only the per-request activations are packed.
+struct QGemmWeights {
+  std::int64_t rows = 0;   // m: output channels / features
+  std::int64_t depth = 0;  // k: reduction length
+  std::vector<std::int8_t> panels;  // ceil(m/kMR) panels × ceil(k/4)·kMR·4
+  // GEMV twin packing for the n == 1 cold-miss case: row groups of 8 ×
+  // depth quads ([group][quad][8 rows][4 bytes], zero-padded) so a
+  // single-column product reads whole 32-byte vectors instead of wasting
+  // 15/16 of the tiled kernel's column lanes.
+  std::vector<std::int8_t> gemv;
+};
+
+/// Packs row-major int8 weights W[m,k] into micro-kernel panels.
+QGemmWeights qgemm_pack_weights(std::int64_t m, std::int64_t k,
+                                const std::int8_t* a);
+
+/// Quantizes fp32 activations to u7: q = clamp(round(x·inv_scale) + zp,
+/// 0, 127), round-to-nearest-even. Vectorized with the kernel (same
+/// arithmetic, element-identical results).
+void quantize_u7(const float* x, std::int64_t n, float inv_scale,
+                 std::int32_t zp, std::uint8_t* q);
+
+/// C[i,j] = relu?( (float)(Wq·Xq)[i,j] * scale[i] + bias[i] ) for the n
+/// columns of Xq with element (p, j) at b[p*rs_b + j*cs_b] (values must be
+/// in [0,127]). C is m×n with row stride ldc; bias may be null (treated as
+/// +0.0f). Uses the AVX2 maddubs/madd micro-kernel when the library is
+/// built with DNNSPMV_SIMD, the scalar reference otherwise.
+void qgemm_u7(const QGemmWeights& a, std::int64_t n, const std::uint8_t* b,
+              std::int64_t rs_b, std::int64_t cs_b, const float* scale,
+              const float* bias, bool relu, float* c, std::int64_t ldc);
+
+/// Scalar reference path: identical packing, integer accumulation order,
+/// and epilogue arithmetic — bit-identical to qgemm_u7 on every input
+/// (asserted by test_quant.cpp), always compiled regardless of SIMD flags.
+void qgemm_u7_ref(const QGemmWeights& a, std::int64_t n,
+                  const std::uint8_t* b, std::int64_t rs_b,
+                  std::int64_t cs_b, const float* scale, const float* bias,
+                  bool relu, float* c, std::int64_t ldc);
 
 }  // namespace dnnspmv

@@ -39,6 +39,14 @@ void col2im(const ConvGeom& g, const float* col, float* im);
 void im2col_batch(const ConvGeom& g, std::int64_t batch, const float* im,
                   float* col);
 
+/// im2col_batch over already-quantized uint8 activations (the int8 conv
+/// path). `pad` is the byte written at spatial-padding positions: the
+/// quantized representation of fp32 0.0, i.e. the activation zero-point —
+/// so dequantized padding contributes exactly zero, matching the fp32 path.
+void im2col_batch_u8(const ConvGeom& g, std::int64_t batch,
+                     const std::uint8_t* im, std::uint8_t* col,
+                     std::uint8_t pad);
+
 /// Batched inverse of im2col_batch: scatters column gradients of the
 /// [patch_size, batch*opix] matrix back into the NCHW image batch (which is
 /// zeroed first). Samples scatter in parallel into disjoint images.

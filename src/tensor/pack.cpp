@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#if defined(DNNSPMV_SIMD) && defined(__AVX2__)
+#define DNNSPMV_PACK_SIMD 1
+#include <immintrin.h>
+#endif
+
 namespace dnnspmv {
 
 void pack_a_panel(std::int64_t rows, std::int64_t kc, const float* a,
@@ -33,6 +38,71 @@ void pack_b_panel(std::int64_t kc, std::int64_t cols, const float* b,
     float* out = dst + p * kNR;
     for (std::int64_t j = 0; j < cols; ++j) out[j] = b[p * rs + j * cs];
     for (std::int64_t j = cols; j < kNR; ++j) out[j] = 0.0f;
+  }
+}
+
+void pack_a_panel_s8(std::int64_t rows, std::int64_t kc, const std::int8_t* a,
+                     std::int64_t rs, std::int64_t cs, std::int8_t* dst) {
+  const std::int64_t kq = (kc + kQK - 1) / kQK;
+  for (std::int64_t q = 0; q < kq; ++q) {
+    std::int8_t* out = dst + q * kQuadA;
+    const std::int64_t p0 = q * kQK;
+    const std::int64_t tn = std::min(kQK, kc - p0);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int8_t* src = a + i * rs + p0 * cs;
+      for (std::int64_t t = 0; t < tn; ++t) out[i * kQK + t] = src[t * cs];
+      for (std::int64_t t = tn; t < kQK; ++t) out[i * kQK + t] = 0;
+    }
+    if (rows < kMR)
+      std::memset(out + rows * kQK, 0,
+                  static_cast<std::size_t>((kMR - rows) * kQK));
+  }
+}
+
+void pack_b_panel_u8(std::int64_t kc, std::int64_t cols,
+                     const std::uint8_t* b, std::int64_t rs, std::int64_t cs,
+                     std::uint8_t* dst) {
+  const std::int64_t kq = (kc + kQK - 1) / kQK;
+#ifdef DNNSPMV_PACK_SIMD
+  if (cols == kNR && cs == 1) {
+    // Full panel with contiguous columns (the im2col layout): each depth
+    // quad is a 4×16 byte transpose — two unpack rounds interleave the
+    // four 16-byte depth rows into the [col][quad] kernel order. Pure data
+    // movement, byte-for-byte the scalar loop's output.
+    for (std::int64_t q = 0; q < kq; ++q) {
+      const std::int64_t p0 = q * kQK;
+      const std::int64_t tn = std::min(kQK, kc - p0);
+      const std::uint8_t* src = b + p0 * rs;
+      const __m128i z = _mm_setzero_si128();
+      __m128i r[4] = {z, z, z, z};
+      for (std::int64_t t = 0; t < tn; ++t)
+        r[t] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + t * rs));
+      const __m128i t0 = _mm_unpacklo_epi8(r[0], r[1]);
+      const __m128i t1 = _mm_unpackhi_epi8(r[0], r[1]);
+      const __m128i t2 = _mm_unpacklo_epi8(r[2], r[3]);
+      const __m128i t3 = _mm_unpackhi_epi8(r[2], r[3]);
+      __m128i* out = reinterpret_cast<__m128i*>(dst + q * kQuadB);
+      _mm_storeu_si128(out + 0, _mm_unpacklo_epi16(t0, t2));
+      _mm_storeu_si128(out + 1, _mm_unpackhi_epi16(t0, t2));
+      _mm_storeu_si128(out + 2, _mm_unpacklo_epi16(t1, t3));
+      _mm_storeu_si128(out + 3, _mm_unpackhi_epi16(t1, t3));
+    }
+    return;
+  }
+#endif
+  for (std::int64_t q = 0; q < kq; ++q) {
+    std::uint8_t* out = dst + q * kQuadB;
+    const std::int64_t p0 = q * kQK;
+    const std::int64_t tn = std::min(kQK, kc - p0);
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const std::uint8_t* src = b + p0 * rs + j * cs;
+      for (std::int64_t t = 0; t < tn; ++t) out[j * kQK + t] = src[t * rs];
+      for (std::int64_t t = tn; t < kQK; ++t) out[j * kQK + t] = 0;
+    }
+    if (cols < kNR)
+      std::memset(out + cols * kQK, 0,
+                  static_cast<std::size_t>((kNR - cols) * kQK));
   }
 }
 

@@ -41,4 +41,30 @@ void pack_a_panel(std::int64_t rows, std::int64_t kc, const float* a,
 void pack_b_panel(std::int64_t kc, std::int64_t cols, const float* b,
                   std::int64_t rs, std::int64_t cs, float* dst);
 
+/// Depth quad of the int8 kernel: `maddubs` consumes 4 consecutive depth
+/// bytes per 32-bit lane, so int8 panels interleave the depth dimension in
+/// groups of 4 (zero-padded when k is not a multiple of 4 — a zero weight
+/// byte annihilates whatever sits in the matching activation slot).
+inline constexpr std::int64_t kQK = 4;
+inline constexpr std::int64_t kQuadA = kMR * kQK;  // A-panel bytes per quad
+inline constexpr std::int64_t kQuadB = kNR * kQK;  // B-panel bytes per quad
+
+/// Packs one int8 A (weight) panel: rows [0, rows) over depths [0, kc) of
+/// the logical m×k matrix with element (i, p) at a[i*rs + p*cs]. Layout is
+/// quad-major: dst[(q*kMR + i)*kQK + t] = A[i, q*4 + t], so the kernel
+/// broadcasts one 4-byte weight dword per (row, quad). Writes
+/// ceil(kc/4)*kMR*4 bytes, zero-padding rows beyond `rows` and the depth
+/// remainder.
+void pack_a_panel_s8(std::int64_t rows, std::int64_t kc, const std::int8_t* a,
+                     std::int64_t rs, std::int64_t cs, std::int8_t* dst);
+
+/// Packs one uint8 B (activation) panel: depths [0, kc) over `cols`
+/// columns with element (p, j) at b[p*rs + j*cs]. Layout is quad-major:
+/// dst[(q*kNR + j)*kQK + t] = B[q*4 + t, j], so one 32-byte kernel load
+/// covers 8 columns × 4 depths. Writes ceil(kc/4)*kNR*4 bytes,
+/// zero-padding columns beyond `cols` and the depth remainder.
+void pack_b_panel_u8(std::int64_t kc, std::int64_t cols,
+                     const std::uint8_t* b, std::int64_t rs, std::int64_t cs,
+                     std::uint8_t* dst);
+
 }  // namespace dnnspmv

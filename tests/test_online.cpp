@@ -174,6 +174,34 @@ TEST(Registry, PublishStampsMonotonicVersionsAndValidates) {
   EXPECT_EQ(reg.version(), 2u);  // failed publishes change nothing
 }
 
+TEST(Registry, QuantizationChangeIsRejectedAndQuantizedClonesServe) {
+  auto& p = pipeline();
+  const SelectorOptions& o = p.selector.options();
+  const Dataset calib =
+      build_dataset(p.labeled_a, p.plat_a->formats(), o.mode, o.rep_rows,
+                    o.rep_bins, o.rep_sample_nnz);
+  FormatSelector quant = p.selector.clone();
+  quant.quantize(calib);
+  ASSERT_TRUE(quant.quantized());
+
+  // A quantized registry rejects an fp32 publish: the serving fleet's
+  // cold-miss budget is part of the contract, like the rep geometry.
+  ModelRegistry reg(quant.clone());
+  EXPECT_THROW(reg.publish(p.selector.clone()), DnnspmvError);
+  EXPECT_EQ(reg.publish(quant.clone()), 2u);
+
+  // Subscriptions clone the int8 inference path along with the weights.
+  ModelSubscription sub(reg);
+  const std::shared_ptr<const FormatSelector> snap = sub.model();
+  ASSERT_TRUE(snap->quantized());
+  const Csr& a = p.corpus[0].matrix;
+  EXPECT_EQ(snap->predict_index(a), quant.predict_index(a));
+
+  // And the reverse direction: an fp32 registry rejects a quantized model.
+  ModelRegistry reg32(p.selector.clone());
+  EXPECT_THROW(reg32.publish(std::move(quant)), DnnspmvError);
+}
+
 TEST(Registry, HeldSnapshotsPinTheirVersionAcrossSwaps) {
   auto& p = pipeline();
   ModelRegistry reg(p.selector.clone());
