@@ -3,12 +3,18 @@
 // threads, then read the metrics block.
 //
 //   ./serve_demo [--clients 4] [--requests 400] [--replicas 0]
-//                [--online 0] [--quantize 0] [--trace trace.json]
+//                [--op spmv] [--online 0] [--quantize 0]
+//                [--trace trace.json]
 //
 // --replicas 0 (default) serves through a single SelectionService; N >= 1
 // builds a ReplicaRouter with N replicas (consistent-hash sharding, NUMA-
 // aware worker pinning, hedged re-dispatch) and reports per-replica
 // hit-rate/depth plus the router's hedge counters at exit.
+//
+// --op spmm trains the selector's second head on measured SpMM labels
+// (K = 32 dense columns) and serves every request as an SpMM query: same
+// service, same cache, op-scoped keys — the exit stats show the traffic
+// under spmm_requests instead of spmv_requests.
 //
 // --online 1 closes the learning loop (single-service mode): the service
 // publishes sampled cache misses to a FeedbackCollector — here probed
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   const auto requests =
       static_cast<std::size_t>(cli.get_int("requests", 400));
   const int replicas = static_cast<int>(cli.get_int("replicas", 0));
+  SpOp op = op_from_name(cli.get_string("op", "spmv"));
   const bool online = cli.get_int("online", 0) != 0;
   const bool quantize = cli.get_int("quantize", 0) != 0;
   const std::string trace_path = cli.get_string("trace", "");
@@ -54,6 +61,14 @@ int main(int argc, char** argv) {
   if (online && replicas > 0) {
     std::printf("--online demos the single-service loop; ignoring "
                 "--replicas %d\n", replicas);
+  }
+  if (online && op == SpOp::kSpmm) {
+    // The feedback probe measures SpMV labels, and the service only
+    // publishes feedback for SpMV misses — an all-SpMM online demo would
+    // just idle the trainer.
+    std::printf("--online fine-tunes on SpMV feedback; ignoring "
+                "--op spmm\n");
+    op = SpOp::kSpmv;
   }
 
   // 1. A small trained selector (the usual offline pipeline).
@@ -73,6 +88,12 @@ int main(int argc, char** argv) {
   sopts.quantize = quantize;
   FormatSelector selector(sopts);
   selector.fit(labeled, platform->formats());
+  if (op == SpOp::kSpmm) {
+    std::printf("labelling SpMM at K=%d on the host kernels...\n",
+                static_cast<int>(sopts.spmm_cols));
+    selector.fit_spmm(collect_labels_spmm(corpus, platform->formats(),
+                                          sopts.spmm_cols, /*reps=*/1));
+  }
   if (selector.quantized())
     std::printf("selector quantized: cold misses run the int8 forward\n");
 
@@ -127,7 +148,7 @@ int main(int argc, char** argv) {
     service = std::make_unique<SelectionService>(selector, opts);
   }
   auto predict = [&](const Csr& m) {
-    return router ? router->predict(m) : service->predict(m);
+    return router ? router->predict(m, op) : service->predict(m, op);
   };
 
   // 3. Concurrent clients, each re-querying a shared matrix pool — the
@@ -200,8 +221,10 @@ int main(int argc, char** argv) {
   } else {
     const ServiceStats s = service->snapshot();
     std::printf("\n-- service stats --\n");
-    std::printf("requests      %llu\n",
-                static_cast<unsigned long long>(s.requests));
+    std::printf("requests      %llu (%llu spmv, %llu spmm)\n",
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.spmv_requests),
+                static_cast<unsigned long long>(s.spmm_requests));
     std::printf("cache hits    %llu (%.1f%%)\n",
                 static_cast<unsigned long long>(s.cache_hits),
                 100.0 * s.hit_rate());

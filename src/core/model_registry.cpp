@@ -37,6 +37,19 @@ void check_compatible(const FormatSelector& boot, const FormatSelector& next) {
                      errc::invalid_argument,
                      "published model changes quantization; "
                      "incompatible versions need a new registry");
+  // Op support is part of the contract: a deployment answering SpMM must
+  // not swap in an SpMV-only model mid-flight (in-queue kSpmm requests
+  // would hit the no-head check). migrate() carries the SpMM head by
+  // weight copy, so online publishes keep satisfying this.
+  DNNSPMV_CHECK_ERRC(boot.supports(SpOp::kSpmm) == next.supports(SpOp::kSpmm),
+                     errc::invalid_argument,
+                     "published model changes SpMM support; "
+                     "incompatible versions need a new registry");
+  DNNSPMV_CHECK_ERRC(!boot.supports(SpOp::kSpmm) ||
+                         a.spmm_cols == b.spmm_cols,
+                     errc::invalid_argument,
+                     "published model changes the SpMM label K; "
+                     "incompatible versions need a new registry");
 }
 
 }  // namespace

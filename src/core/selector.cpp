@@ -73,10 +73,38 @@ void FormatSelector::fit(const Dataset& train) {
   if (opts_.quantize) quantize(train);
 }
 
-void FormatSelector::quantize(const Dataset& calib) {
-  DNNSPMV_CHECK_MSG(net_, "quantize an untrained FormatSelector");
-  DNNSPMV_CHECK_MSG(!calib.samples.empty(),
-                    "quantize needs a calibration dataset");
+void FormatSelector::fit_spmm(const std::vector<LabeledMatrix>& labeled) {
+  DNNSPMV_CHECK_MSG(net_, "fit_spmm before fit: the SpMV head defines the "
+                          "candidate set and representation geometry");
+  const Dataset ds =
+      build_dataset(labeled, candidates_, opts_.mode, opts_.rep_rows,
+                    opts_.rep_bins, opts_.rep_sample_nnz);
+  fit_spmm(ds);
+}
+
+void FormatSelector::fit_spmm(const Dataset& train) {
+  DNNSPMV_CHECK_MSG(net_, "fit_spmm before fit: the SpMV head defines the "
+                          "candidate set and representation geometry");
+  DNNSPMV_CHECK(!train.samples.empty());
+  DNNSPMV_CHECK_MSG(train.candidates == candidates_,
+                    "SpMM labels must use the SpMV head's candidate formats");
+  CnnSpec spec = make_spec();
+  // Decorrelate the two heads' initializations; identical seeds would give
+  // identical nets whenever the label sets happen to agree.
+  spec.seed = opts_.train.seed ^ 0x5b4d4dULL;  // "SpMM"-ish tag
+  spmm_net_ = std::make_unique<MergeNet>(build_cnn(spec));
+  train_cnn(*spmm_net_, train, num_net_inputs(spec), opts_.train);
+  // Keep the both-heads-quantized-or-neither invariant: a quantized
+  // selector gaining an SpMM head quantizes it on its own training slice.
+  if (qws_ || opts_.quantize) quantize_spmm(train);
+}
+
+bool FormatSelector::supports(SpOp op) const {
+  return op == SpOp::kSpmv ? net_ != nullptr : spmm_net_ != nullptr;
+}
+
+std::vector<std::vector<Tensor>> FormatSelector::calib_batches(
+    const Dataset& calib) const {
   const int ninputs = num_net_inputs(make_spec());
   const std::int64_t cap =
       std::min<std::int64_t>(opts_.quant.max_calib_samples,
@@ -89,13 +117,35 @@ void FormatSelector::quantize(const Dataset& calib) {
       idx.push_back(static_cast<std::int32_t>(j));
     batches.push_back(assemble_batch(calib, idx, ninputs));
   }
+  return batches;
+}
+
+void FormatSelector::quantize(const Dataset& calib) {
+  DNNSPMV_CHECK_MSG(net_, "quantize an untrained FormatSelector");
+  DNNSPMV_CHECK_MSG(!calib.samples.empty(),
+                    "quantize needs a calibration dataset");
+  const std::vector<std::vector<Tensor>> batches = calib_batches(calib);
   // The calibration walk runs forwards through the shared net scratch, so
   // it takes the same lock predictions do.
+  {
+    std::lock_guard<std::mutex> lock(*infer_mu_);
+    qws_ = std::make_unique<QuantizedWeightSet>(
+        quantize_merge_net(*net_, batches, opts_.quant));
+    qnet_ = std::make_unique<QuantizedMergeNet>(*net_, *qws_);
+    opts_.quantize = true;
+  }
+  // Representations are op-independent, so the same calibration batches
+  // exercise the SpMM head's activation ranges.
+  if (spmm_net_) quantize_spmm(calib);
+}
+
+void FormatSelector::quantize_spmm(const Dataset& calib) {
+  DNNSPMV_CHECK(spmm_net_ && !calib.samples.empty());
+  const std::vector<std::vector<Tensor>> batches = calib_batches(calib);
   std::lock_guard<std::mutex> lock(*infer_mu_);
-  qws_ = std::make_unique<QuantizedWeightSet>(
-      quantize_merge_net(*net_, batches, opts_.quant));
-  qnet_ = std::make_unique<QuantizedMergeNet>(*net_, *qws_);
-  opts_.quantize = true;
+  spmm_qws_ = std::make_unique<QuantizedWeightSet>(
+      quantize_merge_net(*spmm_net_, batches, opts_.quant));
+  spmm_qnet_ = std::make_unique<QuantizedMergeNet>(*spmm_net_, *spmm_qws_);
 }
 
 std::vector<Tensor> FormatSelector::prepare_inputs(const Csr& a) const {
@@ -104,8 +154,15 @@ std::vector<Tensor> FormatSelector::prepare_inputs(const Csr& a) const {
 }
 
 std::vector<std::int32_t> FormatSelector::predict_prepared(
-    const std::vector<std::vector<Tensor>>& prepared, Workspace* ws) const {
+    const std::vector<std::vector<Tensor>>& prepared, Workspace* ws,
+    SpOp op) const {
   DNNSPMV_CHECK_MSG(net_, "predict on an untrained FormatSelector");
+  DNNSPMV_CHECK_MSG(op == SpOp::kSpmv || spmm_net_,
+                    "predict(kSpmm) on a selector without an SpMM head "
+                    "(fit_spmm was never called)");
+  MergeNet* net = op == SpOp::kSpmv ? net_.get() : spmm_net_.get();
+  QuantizedMergeNet* qnet =
+      op == SpOp::kSpmv ? qnet_.get() : spmm_qnet_.get();
   if (prepared.empty()) return {};
   Dataset batch;
   batch.candidates = candidates_;
@@ -118,7 +175,7 @@ std::vector<std::int32_t> FormatSelector::predict_prepared(
   // One forward over the whole batch; the lock covers only inference, not
   // the representation work above.
   std::lock_guard<std::mutex> lock(*infer_mu_);
-  if (qnet_) {
+  if (qnet) {
     // Quantized cold-miss path: same batch assembly, int8 forward. The
     // lock still applies — the executor shares the net's fp32 pool layers
     // (mutable argmax scratch).
@@ -127,42 +184,42 @@ std::vector<std::int32_t> FormatSelector::predict_prepared(
     const std::vector<Tensor> inputs =
         assemble_batch(batch, idx, num_net_inputs(make_spec()));
     Tensor logits;
-    qnet_->forward(inputs, logits);
+    qnet->forward(inputs, logits);
     return argmax_rows(logits);
   }
-  return predict_cnn(*net_, batch, num_net_inputs(make_spec()),
+  return predict_cnn(*net, batch, num_net_inputs(make_spec()),
                      static_cast<int>(prepared.size()), ws);
 }
 
-std::int32_t FormatSelector::predict_index(const Csr& a) const {
-  return predict_prepared({prepare_inputs(a)})[0];
+std::int32_t FormatSelector::predict_index(const Csr& a, SpOp op) const {
+  return predict_prepared({prepare_inputs(a)}, nullptr, op)[0];
 }
 
 std::vector<std::int32_t> FormatSelector::predict_index_batch(
-    const std::vector<const Csr*>& as) const {
+    const std::vector<const Csr*>& as, SpOp op) const {
   std::vector<std::vector<Tensor>> prepared;
   prepared.reserve(as.size());
   for (const Csr* a : as) {
     DNNSPMV_CHECK(a != nullptr);
     prepared.push_back(prepare_inputs(*a));
   }
-  return predict_prepared(prepared);
+  return predict_prepared(prepared, nullptr, op);
 }
 
-std::vector<Format> FormatSelector::predict_batch(
-    const std::vector<Csr>& as) const {
+std::vector<Format> FormatSelector::predict_batch(const std::vector<Csr>& as,
+                                                  SpOp op) const {
   std::vector<const Csr*> ptrs;
   ptrs.reserve(as.size());
   for (const Csr& a : as) ptrs.push_back(&a);
   std::vector<Format> out;
   out.reserve(as.size());
-  for (std::int32_t idx : predict_index_batch(ptrs))
+  for (std::int32_t idx : predict_index_batch(ptrs, op))
     out.push_back(candidates_[static_cast<std::size_t>(idx)]);
   return out;
 }
 
-Format FormatSelector::predict(const Csr& a) const {
-  return candidates_[static_cast<std::size_t>(predict_index(a))];
+Format FormatSelector::predict(const Csr& a, SpOp op) const {
+  return candidates_[static_cast<std::size_t>(predict_index(a, op))];
 }
 
 std::int32_t FormatSelector::candidate_index(Format f) const {
@@ -191,6 +248,18 @@ FormatSelector FormatSelector::clone() const {
     out.qws_ = std::make_unique<QuantizedWeightSet>(*qws_);
     out.qnet_ = std::make_unique<QuantizedMergeNet>(*out.net_, *out.qws_);
   }
+  if (spmm_net_) {
+    CnnSpec spec = out.make_spec();
+    spec.seed = opts_.train.seed ^ 0x5b4d4dULL;
+    out.spmm_net_ = std::make_unique<MergeNet>(build_cnn(spec));
+    copy_params(const_cast<MergeNet&>(*spmm_net_).params(),
+                out.spmm_net_->params());
+    if (spmm_qws_) {
+      out.spmm_qws_ = std::make_unique<QuantizedWeightSet>(*spmm_qws_);
+      out.spmm_qnet_ =
+          std::make_unique<QuantizedMergeNet>(*out.spmm_net_, *out.spmm_qws_);
+    }
+  }
   return out;
 }
 
@@ -205,10 +274,23 @@ FormatSelector FormatSelector::migrate(MigrationMethod method,
   out.candidates_ = candidates_;
   out.net_ = std::make_unique<MergeNet>(
       migrate_model(make_spec(), *net_, method, target_train, cfg));
+  // The SpMM head rides migration as a weight copy: target_train holds
+  // SpMV labels, so fine-tuning the SpMM head on it would erase what makes
+  // the head different. Carrying it means a migrated/online-published
+  // model still answers both ops (ModelRegistry checks op support).
+  if (spmm_net_) {
+    CnnSpec spec = out.make_spec();
+    spec.seed = opts_.train.seed ^ 0x5b4d4dULL;
+    out.spmm_net_ = std::make_unique<MergeNet>(build_cnn(spec));
+    copy_params(const_cast<MergeNet&>(*spmm_net_).params(),
+                out.spmm_net_->params());
+  }
   // Re-quantize on the migration target: the fine-tuned weights get fresh
   // scales and the calibration distribution matches the data the migrated
   // model will serve. This is what keeps online publishes quantized —
   // OnlineTrainer migrates onto its replay dataset before every publish.
+  // (quantize() covers the SpMM head too — representations are
+  // op-independent, so the calibration batches are valid for both.)
   if (out.opts_.quantize) out.quantize(target_train);
   return out;
 }
@@ -219,8 +301,9 @@ void FormatSelector::save(const std::string& path) const {
   DNNSPMV_CHECK_MSG(os.is_open(), "cannot open " << path << " for write");
   // Versioned weight set: the header carries the registry version the
   // weights were published as, so a reloaded model keeps its provenance.
-  // v2 adds the quantize flag and the optional QuantizedWeightSet trailer.
-  save_weight_set_header(os, WeightSetHeader{2, model_version_});
+  // v2 adds the quantize flag and the optional QuantizedWeightSet trailer;
+  // v3 adds the SpMM-head flag + K and the head's params/weights trailer.
+  save_weight_set_header(os, WeightSetHeader{3, model_version_});
   const auto mode = static_cast<std::int32_t>(opts_.mode);
   os.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
   os.write(reinterpret_cast<const char*>(&opts_.rep_rows), sizeof(opts_.rep_rows));
@@ -231,6 +314,10 @@ void FormatSelector::save(const std::string& path) const {
   os.write(reinterpret_cast<const char*>(&late), sizeof(late));
   const std::int32_t quant = qws_ ? 1 : 0;
   os.write(reinterpret_cast<const char*>(&quant), sizeof(quant));
+  const std::int32_t has_spmm = spmm_net_ ? 1 : 0;
+  os.write(reinterpret_cast<const char*>(&has_spmm), sizeof(has_spmm));
+  os.write(reinterpret_cast<const char*>(&opts_.spmm_cols),
+           sizeof(opts_.spmm_cols));
   const auto ncand = static_cast<std::int32_t>(candidates_.size());
   os.write(reinterpret_cast<const char*>(&ncand), sizeof(ncand));
   for (Format f : candidates_) {
@@ -239,6 +326,10 @@ void FormatSelector::save(const std::string& path) const {
   }
   save_params(os, const_cast<MergeNet&>(*net_).params());
   if (qws_) qws_->save(os);
+  if (spmm_net_) {
+    save_params(os, const_cast<MergeNet&>(*spmm_net_).params());
+    if (spmm_qws_) spmm_qws_->save(os);
+  }
 }
 
 FormatSelector FormatSelector::load(const std::string& path) {
@@ -261,6 +352,13 @@ FormatSelector FormatSelector::load(const std::string& path) {
   // files are always fp32.
   if (header.format_version >= 2)
     is.read(reinterpret_cast<char*>(&quant), sizeof(quant));
+  std::int32_t has_spmm = 0;
+  // The SpMM head exists from format v3 on; earlier files are SpMV-only.
+  if (header.format_version >= 3) {
+    is.read(reinterpret_cast<char*>(&has_spmm), sizeof(has_spmm));
+    is.read(reinterpret_cast<char*>(&opts.spmm_cols),
+            sizeof(opts.spmm_cols));
+  }
   is.read(reinterpret_cast<char*>(&ncand), sizeof(ncand));
   DNNSPMV_CHECK_MSG(is.good() && ncand >= 2, "corrupt selector file");
   opts.mode = static_cast<RepMode>(mode);
@@ -282,6 +380,18 @@ FormatSelector FormatSelector::load(const std::string& path) {
     sel.qws_ = std::make_unique<QuantizedWeightSet>(
         QuantizedWeightSet::load(is));
     sel.qnet_ = std::make_unique<QuantizedMergeNet>(*sel.net_, *sel.qws_);
+  }
+  if (has_spmm != 0) {
+    CnnSpec spec = sel.make_spec();
+    spec.seed = sel.opts_.train.seed ^ 0x5b4d4dULL;
+    sel.spmm_net_ = std::make_unique<MergeNet>(build_cnn(spec));
+    load_params(is, sel.spmm_net_->params());
+    if (quant != 0) {
+      sel.spmm_qws_ = std::make_unique<QuantizedWeightSet>(
+          QuantizedWeightSet::load(is));
+      sel.spmm_qnet_ =
+          std::make_unique<QuantizedMergeNet>(*sel.spmm_net_, *sel.spmm_qws_);
+    }
   }
   return sel;
 }

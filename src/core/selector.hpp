@@ -42,6 +42,11 @@ struct SelectorOptions {
   // so exact-range calibration beats percentile clipping here — it keeps
   // the top of the activation range instead of saturating it.
   QuantConfig quant{.observer = QuantConfig::Observer::kMinMax};
+  // K (dense columns) the SpMM head's labels were measured at. Purely
+  // descriptive for inference — representations are op-independent — but
+  // published models must agree on it (ModelRegistry validates), since a
+  // head trained at K=8 answers a K=128 workload with stale crossovers.
+  index_t spmm_cols = 32;
   TrainConfig train;
 };
 
@@ -64,6 +69,18 @@ class FormatSelector {
   /// Trains on a pre-built dataset (its candidates become this selector's).
   void fit(const Dataset& train);
 
+  /// Trains the optional SpMM head on SpMM-measured labels (same candidate
+  /// set and representation geometry; only the label distribution differs).
+  /// Requires fit() first: the SpMV head defines candidates and geometry,
+  /// the SpMM head rides along through clone/save/migrate/quantize. After
+  /// this, predict*(a, SpOp::kSpmm) routes through the new head.
+  void fit_spmm(const std::vector<LabeledMatrix>& labeled);
+  void fit_spmm(const Dataset& train);
+
+  /// Whether predict*() can answer for `op`: kSpmv after fit(), kSpmm after
+  /// fit_spmm().
+  bool supports(SpOp op) const;
+
   /// Predicted best format for a new matrix.
   ///
   /// Thread safety: predict/predict_index/predict_batch/predict_prepared
@@ -73,17 +90,18 @@ class FormatSelector {
   /// mutex; representation-building (prepare_inputs) runs outside the lock
   /// and scales with the callers. Concurrent prediction must not overlap
   /// with fit()/migrate() on the same object.
-  Format predict(const Csr& a) const;
+  Format predict(const Csr& a, SpOp op = SpOp::kSpmv) const;
 
   /// Index into candidates() instead of the Format enum.
-  std::int32_t predict_index(const Csr& a) const;
+  std::int32_t predict_index(const Csr& a, SpOp op = SpOp::kSpmv) const;
 
   /// Batched predict: one forward pass over all matrices through the same
   /// batched-tensor path the trainer uses. Element i equals predict(as[i])
   /// exactly (per-sample arithmetic is batch-size invariant).
-  std::vector<Format> predict_batch(const std::vector<Csr>& as) const;
+  std::vector<Format> predict_batch(const std::vector<Csr>& as,
+                                    SpOp op = SpOp::kSpmv) const;
   std::vector<std::int32_t> predict_index_batch(
-      const std::vector<const Csr*>& as) const;
+      const std::vector<const Csr*>& as, SpOp op = SpOp::kSpmv) const;
 
   /// CNN-ready representations of one matrix — the per-request work a
   /// serving layer runs in its client threads. Pure function of the matrix
@@ -96,8 +114,8 @@ class FormatSelector {
   /// workers keep one per thread so miss-path inference reuses warm
   /// buffers); null falls back to the net's own.
   std::vector<std::int32_t> predict_prepared(
-      const std::vector<std::vector<Tensor>>& prepared,
-      Workspace* ws = nullptr) const;
+      const std::vector<std::vector<Tensor>>& prepared, Workspace* ws = nullptr,
+      SpOp op = SpOp::kSpmv) const;
 
   const std::vector<Format>& candidates() const { return candidates_; }
 
@@ -149,6 +167,8 @@ class FormatSelector {
 
  private:
   CnnSpec make_spec() const;
+  std::vector<std::vector<Tensor>> calib_batches(const Dataset& calib) const;
+  void quantize_spmm(const Dataset& calib);
 
   friend class ModelRegistry;  // stamps model_version_ at publish time
 
@@ -157,11 +177,18 @@ class FormatSelector {
   std::vector<Format> candidates_;
   std::uint64_t model_version_ = 0;
   std::unique_ptr<MergeNet> net_;  // unique_ptr: MergeNet is move-averse
+  // Optional SpMM head: same architecture over the same representations,
+  // trained on SpMM-measured labels. Shares the inference mutex (forward
+  // scratch is per-net, but keeping one lock keeps the serve worker model
+  // simple — at most one forward in flight per selector either way).
+  std::unique_ptr<MergeNet> spmm_net_;
   // Int8 inference state: the serializable weight set and the compiled
   // executor over net_. Both null on fp32 selectors; rebuilt (never
   // shared) on clone so every inference lane owns its scratch.
   std::unique_ptr<QuantizedWeightSet> qws_;
   std::unique_ptr<QuantizedMergeNet> qnet_;
+  std::unique_ptr<QuantizedWeightSet> spmm_qws_;
+  std::unique_ptr<QuantizedMergeNet> spmm_qnet_;
   // Serializes forward passes (MergeNet scratch is not re-entrant); in a
   // unique_ptr so the selector stays movable.
   std::unique_ptr<std::mutex> infer_mu_ = std::make_unique<std::mutex>();

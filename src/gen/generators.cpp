@@ -42,6 +42,9 @@ std::string gen_class_name(GenClass c) {
     case GenClass::kRmat: return "rmat";
     case GenClass::kDerived: return "derived";
     case GenClass::kReal: return "real";
+    case GenClass::kPrunedRandom: return "pruned_random";
+    case GenClass::kPrunedMagnitude: return "pruned_magnitude";
+    case GenClass::kPrunedBlock: return "pruned_block";
   }
   DNNSPMV_CHECK_MSG(false, "invalid GenClass");
 }

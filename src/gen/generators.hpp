@@ -28,9 +28,13 @@ enum class GenClass : std::int32_t {
   kRmat = 7,        // recursive Kronecker-style skewed graph
   kDerived = 8,     // produced by augmentation of another matrix
   kReal = 9,        // read from a MatrixMarket file
+  // DLMC-style pruned deep-learning weight matrices (src/gen/dlmc.hpp).
+  kPrunedRandom = 10,     // Bernoulli mask at a fixed density
+  kPrunedMagnitude = 11,  // keep the top-|w| fraction of dense weights
+  kPrunedBlock = 12,      // keep the top-scoring dense sub-blocks
 };
 
-constexpr std::int32_t kNumGenClasses = 10;
+constexpr std::int32_t kNumGenClasses = 13;
 
 std::string gen_class_name(GenClass c);
 

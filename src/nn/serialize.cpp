@@ -48,7 +48,9 @@ bool read_weight_set_header(std::istream& is, WeightSetHeader& h) {
   read_pod(is, h.format_version);
   // v1: header + fp32 params. v2 (PR 9): adds the quantize flag to the
   // selector options block and an optional QuantizedWeightSet trailer.
-  DNNSPMV_CHECK_MSG(h.format_version >= 1 && h.format_version <= 2,
+  // v3 (PR 10): adds the SpMM-head flag + spmm_cols to the options block
+  // and an optional second params (+ quant) section.
+  DNNSPMV_CHECK_MSG(h.format_version >= 1 && h.format_version <= 3,
                     "unknown weight-set format version " << h.format_version);
   read_pod(is, h.model_version);
   return true;

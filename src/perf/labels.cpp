@@ -35,6 +35,25 @@ std::vector<LabeledMatrix> collect_labels(
   return out;
 }
 
+std::vector<LabeledMatrix> collect_labels_spmm(
+    const std::vector<CorpusEntry>& corpus,
+    const std::vector<Format>& formats, index_t spmm_cols, int reps) {
+  DNNSPMV_CHECK(spmm_cols >= 1);
+  std::vector<LabeledMatrix> out;
+  out.reserve(corpus.size());
+  for (const CorpusEntry& e : corpus) {
+    LabeledMatrix lm;
+    lm.matrix = &e.matrix;
+    lm.gen_class = e.gen_class;
+    lm.op = SpOp::kSpmm;
+    lm.spmm_cols = spmm_cols;
+    lm.format_times = measure_spmm_times(e.matrix, formats, spmm_cols, reps);
+    lm.label = best_format_index(lm.format_times);
+    out.push_back(std::move(lm));
+  }
+  return out;
+}
+
 std::vector<LabeledMatrix> collect_labels_amortized(
     const std::vector<CorpusEntry>& corpus, const Platform& platform,
     std::int64_t expected_iterations) {

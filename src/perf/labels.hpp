@@ -15,6 +15,8 @@ struct LabeledMatrix {
   GenClass gen_class = GenClass::kDerived;
   std::vector<double> format_times;   // aligned with platform.formats()
   std::int32_t label = 0;             // argmin index
+  SpOp op = SpOp::kSpmv;              // which kernel the times measure
+  index_t spmm_cols = 0;              // K for op == kSpmm, 0 for SpMV
 };
 
 /// Index of the fastest finite time; ties break toward the lower index.
@@ -35,5 +37,13 @@ std::vector<LabeledMatrix> collect_labels(
 std::vector<LabeledMatrix> collect_labels_amortized(
     const std::vector<CorpusEntry>& corpus, const Platform& platform,
     std::int64_t expected_iterations);
+
+/// Labels the corpus for SpMM with K = `spmm_cols` dense columns by timing
+/// the host's real kernels over `formats`. Labels are keyed by
+/// (matrix, op, K): the same matrix gets independent SpMV and SpMM labels,
+/// and they disagree often enough to justify the op-aware selector head.
+std::vector<LabeledMatrix> collect_labels_spmm(
+    const std::vector<CorpusEntry>& corpus,
+    const std::vector<Format>& formats, index_t spmm_cols, int reps = 3);
 
 }  // namespace dnnspmv

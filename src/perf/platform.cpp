@@ -342,4 +342,23 @@ std::unique_ptr<Platform> make_measured(std::vector<Format> formats,
   return std::make_unique<Measured>(std::move(formats), reps);
 }
 
+std::vector<double> measure_spmm_times(const Csr& a,
+                                       const std::vector<Format>& formats,
+                                       index_t k, int reps) {
+  DNNSPMV_CHECK(!formats.empty() && k >= 1 && reps >= 1);
+  std::vector<double> times;
+  times.reserve(formats.size());
+  std::vector<double> x(static_cast<std::size_t>(a.cols) * k, 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.rows) * k, 0.0);
+  for (Format f : formats) {
+    auto m = AnyFormatMatrix::convert(a, f);
+    if (!m) {
+      times.push_back(kInf);
+      continue;
+    }
+    times.push_back(time_kernel([&] { m->spmm(x, y, k); }, 1, reps));
+  }
+  return times;
+}
+
 }  // namespace dnnspmv

@@ -67,4 +67,12 @@ std::unique_ptr<Platform> make_analytic_gpu(const MachineParams& p);
 std::unique_ptr<Platform> make_measured(std::vector<Format> formats,
                                         int reps = 5);
 
+/// Seconds per SpMM (Y[rows×k] = A·X) for each format, measured on the
+/// host's real kernels (+inf where conversion refuses the matrix). SpMM has
+/// no analytic model: the op exists to be *measured*, because its winners
+/// diverge from the SpMV cost models' (DESIGN.md §14).
+std::vector<double> measure_spmm_times(const Csr& a,
+                                       const std::vector<Format>& formats,
+                                       index_t k, int reps = 5);
+
 }  // namespace dnnspmv

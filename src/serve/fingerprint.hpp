@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/hash.hpp"
+#include "sparse/format.hpp"
 #include "sparse/stats.hpp"
 
 namespace dnnspmv {
@@ -33,6 +34,17 @@ std::uint64_t structural_fingerprint(const Csr& a);
 inline std::uint64_t versioned_cache_key(std::uint64_t fingerprint,
                                          std::uint64_t model_version) {
   return hash_combine(fingerprint, model_version);
+}
+
+/// Scopes a structural fingerprint to an operation, so one service answers
+/// both ops without SpMV and SpMM predictions colliding in the cache.
+/// Identity for kSpmv: the pre-SpMM key space (and every test/bench built
+/// on it) is unchanged, and only the new op pays the extra mix.
+inline std::uint64_t op_scoped_fingerprint(std::uint64_t fingerprint,
+                                           SpOp op) {
+  return op == SpOp::kSpmv
+             ? fingerprint
+             : hash_combine(fingerprint, static_cast<std::uint64_t>(op));
 }
 
 }  // namespace dnnspmv

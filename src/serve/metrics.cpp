@@ -45,6 +45,8 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* reg)
       degraded_(reg_->counter(prefix_ + "degraded")),
       retries_(reg_->counter(prefix_ + "retries")),
       fp_reused_(reg_->counter(prefix_ + "fp_reused")),
+      spmv_requests_(reg_->counter(prefix_ + "spmv_requests")),
+      spmm_requests_(reg_->counter(prefix_ + "spmm_requests")),
       batches_(reg_->counter(prefix_ + "batches")),
       batched_samples_(reg_->counter(prefix_ + "batched_samples")),
       swap_total_(reg_->counter(prefix_ + "swap_total")),
@@ -76,6 +78,8 @@ ServiceStats ServiceMetrics::snapshot(std::uint64_t cache_entries) const {
   s.degraded = degraded_.value();
   s.retries = retries_.value();
   s.fp_reused = fp_reused_.value();
+  s.spmv_requests = spmv_requests_.value();
+  s.spmm_requests = spmm_requests_.value();
   s.batches = batches_.value();
   s.batched_samples = batched_samples_.value();
   s.max_batch = static_cast<std::uint64_t>(max_batch_.value());

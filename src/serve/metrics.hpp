@@ -21,6 +21,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "sparse/format.hpp"
 
 namespace dnnspmv {
 
@@ -38,6 +39,9 @@ struct ServiceStats {
   std::uint64_t retries = 0;         // backoff retries of full-queue pushes
   std::uint64_t fp_reused = 0;       // requests whose caller-supplied
                                      // fingerprint skipped the O(nnz) rehash
+  std::uint64_t spmv_requests = 0;   // per-op split of `requests`, so a
+  std::uint64_t spmm_requests = 0;   // hit-rate regression on one op is
+                                     // visible instead of blended
   std::uint64_t batches = 0;         // forward passes executed
   std::uint64_t batched_samples = 0; // requests summed over those batches
   std::uint64_t max_batch = 0;       // largest coalesced batch seen
@@ -108,6 +112,10 @@ class ServiceMetrics {
   void record_retry() { retries_.inc(); }
   /// A submit whose stats+fingerprint arrived precomputed (router path).
   void record_fp_reused() { fp_reused_.inc(); }
+  /// Which op a request asked for (recorded once per submit, hit or miss).
+  void record_op(SpOp op) {
+    (op == SpOp::kSpmv ? spmv_requests_ : spmm_requests_).inc();
+  }
   void record_queue_depth(std::size_t depth) {
     queue_depth_.set(static_cast<double>(depth));
   }
@@ -154,6 +162,8 @@ class ServiceMetrics {
   obs::Counter& degraded_;
   obs::Counter& retries_;
   obs::Counter& fp_reused_;
+  obs::Counter& spmv_requests_;
+  obs::Counter& spmm_requests_;
   obs::Counter& batches_;
   obs::Counter& batched_samples_;
   obs::Counter& swap_total_;

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <vector>
 
+#include "sparse/format.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dnnspmv {
@@ -55,7 +56,10 @@ using DoneCallback =
 /// timebase) is stamped by the submitter so workers can report queue wait;
 /// -1 means unstamped (now_us() legitimately returns 0 at its epoch).
 struct PredictRequest {
-  std::uint64_t fingerprint = 0;
+  std::uint64_t fingerprint = 0;  // already op-scoped by the submitter
+  // Which selector head answers this request. Workers partition each
+  // micro-batch by op (one forward pass per head present in the batch).
+  SpOp op = SpOp::kSpmv;
   std::vector<Tensor> inputs;
   std::promise<std::int32_t> result;
   // Optional completion hook, fired right after `result` is satisfied.

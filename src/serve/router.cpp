@@ -120,6 +120,7 @@ struct ReplicaRouter::HedgeState {
   std::exception_ptr first_err;
 
   std::uint64_t fp = 0;
+  SpOp op = SpOp::kSpmv;        // carried into the hedged re-dispatch
   MatrixStats st;               // for the sibling's degraded path
   std::vector<Tensor> inputs;   // retained CNN inputs for the re-dispatch
   std::int64_t start_us = 0;
@@ -288,6 +289,7 @@ void ReplicaRouter::fire_hedge(const std::shared_ptr<HedgeState>& s) {
   }
   hedges_.inc();
   Request hedge;
+  hedge.op = s->op;
   hedge.stats = s->st;
   hedge.fingerprint = s->fp;
   hedge.inputs = std::move(inputs);
@@ -330,6 +332,12 @@ void ReplicaRouter::run_hedger() {
 
 std::future<std::int32_t> ReplicaRouter::submit(
     const Csr& a, std::optional<std::chrono::microseconds> deadline) {
+  return submit(a, SpOp::kSpmv, deadline);
+}
+
+std::future<std::int32_t> ReplicaRouter::submit(
+    const Csr& a, SpOp op,
+    std::optional<std::chrono::microseconds> deadline) {
   if (stopped_.load(std::memory_order_acquire)) return shutdown_future();
   requests_.inc();
 
@@ -343,6 +351,7 @@ std::future<std::int32_t> ReplicaRouter::submit(
 
   auto s = std::make_shared<HedgeState>();
   s->fp = fp;
+  s->op = op;
   s->st = st;
   s->start_us = obs::now_us();
   s->primary = ring_.primary(fp);
@@ -358,6 +367,7 @@ std::future<std::int32_t> ReplicaRouter::submit(
 
   Request primary;
   primary.matrix = &a;
+  primary.op = op;
   primary.stats = st;
   primary.fingerprint = fp;
   primary.deadline = deadline;
@@ -406,18 +416,29 @@ std::future<std::int32_t> ReplicaRouter::submit(
 }
 
 std::int32_t ReplicaRouter::predict_index(
-    const Csr& a, std::optional<std::chrono::microseconds> deadline) {
+    const Csr& a, SpOp op, std::optional<std::chrono::microseconds> deadline) {
   obs::Span span("router.predict");
   Timer timer;
-  std::future<std::int32_t> fut = submit(a, deadline);
+  std::future<std::int32_t> fut = submit(a, op, deadline);
   const std::int32_t idx = fut.get();
   latency_us_.observe_seconds(timer.seconds());
   return idx;
 }
 
+std::int32_t ReplicaRouter::predict_index(
+    const Csr& a, std::optional<std::chrono::microseconds> deadline) {
+  return predict_index(a, SpOp::kSpmv, deadline);
+}
+
+Format ReplicaRouter::predict(
+    const Csr& a, SpOp op, std::optional<std::chrono::microseconds> deadline) {
+  return candidates()[static_cast<std::size_t>(
+      predict_index(a, op, deadline))];
+}
+
 Format ReplicaRouter::predict(
     const Csr& a, std::optional<std::chrono::microseconds> deadline) {
-  return candidates()[static_cast<std::size_t>(predict_index(a, deadline))];
+  return predict(a, SpOp::kSpmv, deadline);
 }
 
 RouterStats ReplicaRouter::snapshot() const {

@@ -156,8 +156,14 @@ class ReplicaRouter {
   ReplicaRouter& operator=(const ReplicaRouter&) = delete;
 
   /// Routes by structural fingerprint; hedges per RouterOptions. The
-  /// returned future resolves exactly once (see class comment).
+  /// returned future resolves exactly once (see class comment). Routing
+  /// uses the raw (op-agnostic) fingerprint — both ops of one matrix land
+  /// on the same replica, which keeps its stats/rep work cache-warm — and
+  /// each replica op-scopes its cache keys underneath.
   std::future<std::int32_t> submit(const Csr& a,
+                                   std::optional<std::chrono::microseconds>
+                                       deadline = std::nullopt);
+  std::future<std::int32_t> submit(const Csr& a, SpOp op,
                                    std::optional<std::chrono::microseconds>
                                        deadline = std::nullopt);
 
@@ -166,6 +172,12 @@ class ReplicaRouter {
                              std::optional<std::chrono::microseconds>
                                  deadline = std::nullopt);
   Format predict(const Csr& a,
+                 std::optional<std::chrono::microseconds> deadline =
+                     std::nullopt);
+  std::int32_t predict_index(const Csr& a, SpOp op,
+                             std::optional<std::chrono::microseconds>
+                                 deadline = std::nullopt);
+  Format predict(const Csr& a, SpOp op,
                  std::optional<std::chrono::microseconds> deadline =
                      std::nullopt);
 

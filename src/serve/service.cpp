@@ -222,6 +222,10 @@ std::future<std::int32_t> SelectionService::submit(Request&& r) {
   } else {
     fp = structural_fingerprint(st);
   }
+  // All downstream keys (cache probe, queue entry, feedback) use the
+  // op-scoped fingerprint, so the two ops never collide in the cache.
+  fp = op_scoped_fingerprint(fp, r.op);
+  metrics_.record_op(r.op);
 
   DoneCallback done = std::move(r.done);
   if (auto inline_answer = answer_inline(st, fp, done))
@@ -229,6 +233,7 @@ std::future<std::int32_t> SelectionService::submit(Request&& r) {
 
   PredictRequest req;
   req.fingerprint = fp;
+  req.op = r.op;
   if (!r.inputs.empty()) {
     req.inputs = std::move(r.inputs);
   } else {
@@ -242,18 +247,22 @@ std::future<std::int32_t> SelectionService::submit(Request&& r) {
   }
   if (r.retain_inputs) *r.retain_inputs = req.inputs;  // hedge copy
   // Miss-path feedback: sampled, and only when the matrix is available to
-  // probe (a hedged re-dispatch of pre-built inputs is not).
-  if (r.matrix != nullptr) maybe_publish_feedback(*r.matrix, fp, req.inputs);
+  // probe (a hedged re-dispatch of pre-built inputs is not). SpMM misses
+  // don't feed it: the probe measures SpMV times, and training the online
+  // loop's SpMV head on SpMM-keyed samples would corrupt both heads.
+  if (r.matrix != nullptr && r.op == SpOp::kSpmv)
+    maybe_publish_feedback(*r.matrix, fp, req.inputs);
   req.done = std::move(done);
   return enqueue(std::move(req), st, r.deadline);
 }
 
 std::int32_t SelectionService::predict_index(
-    const Csr& a, std::optional<std::chrono::microseconds> deadline) {
+    const Csr& a, SpOp op, std::optional<std::chrono::microseconds> deadline) {
   obs::Span span("serve.predict");
   Timer timer;
   Request r;
   r.matrix = &a;
+  r.op = op;
   r.deadline = deadline;
   std::future<std::int32_t> fut = submit(std::move(r));
   const std::int32_t idx = fut.get();
@@ -261,9 +270,20 @@ std::int32_t SelectionService::predict_index(
   return idx;
 }
 
+std::int32_t SelectionService::predict_index(
+    const Csr& a, std::optional<std::chrono::microseconds> deadline) {
+  return predict_index(a, SpOp::kSpmv, deadline);
+}
+
+Format SelectionService::predict(
+    const Csr& a, SpOp op, std::optional<std::chrono::microseconds> deadline) {
+  return candidates()[static_cast<std::size_t>(
+      predict_index(a, op, deadline))];
+}
+
 Format SelectionService::predict(
     const Csr& a, std::optional<std::chrono::microseconds> deadline) {
-  return candidates()[static_cast<std::size_t>(predict_index(a, deadline))];
+  return predict(a, SpOp::kSpmv, deadline);
 }
 
 ServiceStats SelectionService::snapshot() const {

@@ -161,7 +161,12 @@ struct ServiceOptions {
 /// duration of the submit call only.
 struct Request {
   const Csr* matrix = nullptr;
+  // Which kernel the caller will run with the answer. SpMM predictions
+  // come from the model's SpMM head and live under op-scoped cache keys,
+  // so the two ops never serve each other's answers.
+  SpOp op = SpOp::kSpmv;
   std::optional<MatrixStats> stats;
+  // Raw structural fingerprint (NOT op-scoped; the service scopes it).
   std::optional<std::uint64_t> fingerprint;
   std::vector<Tensor> inputs;  // pre-built CNN representations (optional)
   std::optional<std::chrono::microseconds> deadline;  // relative to now
@@ -198,6 +203,16 @@ class SelectionService {
                  std::optional<std::chrono::microseconds> deadline =
                      std::nullopt);
   std::int32_t predict_index(const Csr& a,
+                             std::optional<std::chrono::microseconds>
+                                 deadline = std::nullopt);
+
+  /// Op-aware flavours: the answer comes from the model's head for `op`
+  /// (requires the registry's model to support it — see
+  /// FormatSelector::supports).
+  Format predict(const Csr& a, SpOp op,
+                 std::optional<std::chrono::microseconds> deadline =
+                     std::nullopt);
+  std::int32_t predict_index(const Csr& a, SpOp op,
                              std::optional<std::chrono::microseconds>
                                  deadline = std::nullopt);
 

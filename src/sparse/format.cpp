@@ -25,6 +25,22 @@ Format format_from_name(const std::string& name) {
   DNNSPMV_CHECK_MSG(false, "unknown format name: " << name);
 }
 
+std::string op_name(SpOp op) {
+  switch (op) {
+    case SpOp::kSpmv: return "spmv";
+    case SpOp::kSpmm: return "spmm";
+  }
+  DNNSPMV_CHECK_MSG(false, "invalid op id");
+}
+
+SpOp op_from_name(const std::string& name) {
+  for (std::int32_t i = 0; i < kNumOps; ++i) {
+    const auto op = static_cast<SpOp>(i);
+    if (op_name(op) == name) return op;
+  }
+  DNNSPMV_CHECK_MSG(false, "unknown op name: " << name);
+}
+
 const std::vector<Format>& cpu_formats() {
   static const std::vector<Format> kSet = {Format::kCoo, Format::kCsr,
                                            Format::kDia, Format::kEll};

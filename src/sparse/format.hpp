@@ -24,6 +24,20 @@ constexpr std::int32_t kNumFormats = 7;
 std::string format_name(Format f);
 Format format_from_name(const std::string& name);
 
+/// Sparse operations the library serves. Format winners differ between
+/// them (SpMM amortizes index traffic over K dense columns, so padded
+/// formats win more often), which is why the selector, labels, and serve
+/// cache keys are all op-scoped.
+enum class SpOp : std::int32_t {
+  kSpmv = 0,  // y[M]   = A * x        (the paper's original workload)
+  kSpmm = 1,  // Y[MxK] = A * X[NxK]   (sparse @ dense, row-major X/Y)
+};
+
+constexpr std::int32_t kNumOps = 2;
+
+std::string op_name(SpOp op);
+SpOp op_from_name(const std::string& name);
+
 /// Formats selectable on the CPU platforms (SMATLib set).
 const std::vector<Format>& cpu_formats();
 

@@ -1,0 +1,334 @@
+#include "sparse/spmm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sparse/spmv.hpp"
+
+namespace dnnspmv {
+namespace {
+
+void check_shapes(index_t rows, index_t cols, std::span<const double> x,
+                  std::span<double> y, index_t k) {
+  DNNSPMV_CHECK(k >= 1);
+  DNNSPMV_CHECK(x.size() == static_cast<std::size_t>(cols) *
+                                static_cast<std::size_t>(k));
+  DNNSPMV_CHECK(y.size() == static_cast<std::size_t>(rows) *
+                                static_cast<std::size_t>(k));
+}
+
+const char* spmm_span_name(Format f) {
+  switch (f) {
+    case Format::kCoo: return "spmm.coo";
+    case Format::kCsr: return "spmm.csr";
+    case Format::kDia: return "spmm.dia";
+    case Format::kEll: return "spmm.ell";
+    case Format::kHyb: return "spmm.hyb";
+    case Format::kBsr: return "spmm.bsr";
+    case Format::kCsr5: return "spmm.csr5";
+  }
+  return "spmm.unknown";
+}
+
+obs::Histogram& spmm_hist(Format f) {
+  static std::array<obs::Histogram*, kNumFormats> hists = [] {
+    std::array<obs::Histogram*, kNumFormats> h{};
+    for (std::int32_t i = 0; i < kNumFormats; ++i)
+      h[static_cast<std::size_t>(i)] = &obs::MetricsRegistry::global()
+          .histogram(std::string(spmm_span_name(static_cast<Format>(i))) +
+                     "_us");
+    return h;
+  }();
+  return *hists[static_cast<std::size_t>(f)];
+}
+
+}  // namespace
+
+void spmm_reference(const Csr& a, std::span<const double> x,
+                    std::span<double> y, index_t k) {
+  check_shapes(a.rows, a.cols, x, y, k);
+  for (index_t i = 0; i < a.rows; ++i) {
+    double* yr = y.data() + static_cast<std::size_t>(i) * k;
+    std::fill(yr, yr + k, 0.0);
+    for (std::int64_t j = a.ptr[i]; j < a.ptr[i + 1]; ++j) {
+      const double v = a.val[static_cast<std::size_t>(j)];
+      const double* xr =
+          x.data() + static_cast<std::size_t>(a.idx[j]) * k;
+      for (index_t c = 0; c < k; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
+
+void spmm_csr(const Csr& a, std::span<const double> x, std::span<double> y,
+              index_t k) {
+  check_shapes(a.rows, a.cols, x, y, k);
+  const std::int64_t* ptr = a.ptr.data();
+  const index_t* idx = a.idx.data();
+  const double* val = a.val.data();
+  const double* xv = x.data();
+  double* yv = y.data();
+#pragma omp parallel
+  {
+    // Per-thread accumulator row: the same val[j] * x[idx[j]] sequence as
+    // spmv_csr, widened to K lanes, so K = 1 is bitwise SpMV.
+    std::vector<double> acc(static_cast<std::size_t>(k));
+#pragma omp for schedule(dynamic, 64)
+    for (index_t i = 0; i < a.rows; ++i) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::int64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+        const double v = val[j];
+        const double* xr = xv + static_cast<std::size_t>(idx[j]) * k;
+        for (index_t c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] +=
+            v * xr[c];
+      }
+      std::copy(acc.begin(), acc.end(),
+                yv + static_cast<std::size_t>(i) * k);
+    }
+  }
+}
+
+void spmm_coo(const Coo& a, std::span<const double> x, std::span<double> y,
+              index_t k) {
+  check_shapes(a.rows, a.cols, x, y, k);
+  std::fill(y.begin(), y.end(), 0.0);
+  const std::int64_t nnz = a.nnz();
+  const index_t* rp = a.row.data();
+  const index_t* cp = a.col.data();
+  const double* vp = a.val.data();
+  const double* xv = x.data();
+  double* yv = y.data();
+
+#pragma omp parallel
+  {
+#ifdef _OPENMP
+    const int nt = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+#else
+    const int nt = 1;
+    const int tid = 0;
+#endif
+    const std::int64_t chunk = (nnz + nt - 1) / nt;
+    const std::int64_t lo = std::min<std::int64_t>(nnz, tid * chunk);
+    const std::int64_t hi = std::min<std::int64_t>(nnz, lo + chunk);
+    std::vector<double> acc(static_cast<std::size_t>(k));
+    const auto accumulate = [&](std::int64_t j) {
+      const double v = vp[j];
+      const double* xr = xv + static_cast<std::size_t>(cp[j]) * k;
+      for (index_t c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] +=
+          v * xr[c];
+    };
+    std::int64_t i = lo;
+    // Leading partial row: may be shared with the previous chunk.
+    if (i < hi) {
+      const index_t r0 = rp[i];
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (; i < hi && rp[i] == r0; ++i) accumulate(i);
+      double* yr = yv + static_cast<std::size_t>(r0) * k;
+      for (index_t c = 0; c < k; ++c) {
+#pragma omp atomic
+        yr[c] += acc[static_cast<std::size_t>(c)];
+      }
+    }
+    // Interior rows are exclusively owned.
+    while (i < hi) {
+      const index_t r = rp[i];
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (; i < hi && rp[i] == r; ++i) accumulate(i);
+      double* yr = yv + static_cast<std::size_t>(r) * k;
+      if (i < hi) {
+        std::copy(acc.begin(), acc.end(), yr);  // row completed here
+      } else {
+        // Trailing row may continue into the next chunk.
+        for (index_t c = 0; c < k; ++c) {
+#pragma omp atomic
+          yr[c] += acc[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+}
+
+void spmm_dia(const Dia& a, std::span<const double> x, std::span<double> y,
+              index_t k) {
+  check_shapes(a.rows, a.cols, x, y, k);
+  std::fill(y.begin(), y.end(), 0.0);
+  const double* xv = x.data();
+  double* yv = y.data();
+  for (std::size_t d = 0; d < a.offsets.size(); ++d) {
+    const index_t off = a.offsets[d];
+    const index_t istart = std::max<index_t>(0, -off);
+    const index_t iend = std::min<index_t>(a.rows, a.cols - off);
+    const double* diag = a.data.data() + d * a.rows;
+#pragma omp parallel for schedule(static)
+    for (index_t i = istart; i < iend; ++i) {
+      const double v = diag[i];
+      const double* xr = xv + static_cast<std::size_t>(i + off) * k;
+      double* yr = yv + static_cast<std::size_t>(i) * k;
+      for (index_t c = 0; c < k; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
+
+void spmm_ell(const Ell& a, std::span<const double> x, std::span<double> y,
+              index_t k) {
+  check_shapes(a.rows, a.cols, x, y, k);
+  const double* xv = x.data();
+  double* yv = y.data();
+#pragma omp parallel
+  {
+    std::vector<double> acc(static_cast<std::size_t>(k));
+#pragma omp for schedule(static)
+    for (index_t i = 0; i < a.rows; ++i) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (index_t w = 0; w < a.width; ++w) {
+        const index_t c0 = a.col[static_cast<std::size_t>(w) * a.rows + i];
+        if (c0 < 0) continue;
+        const double v = a.data[static_cast<std::size_t>(w) * a.rows + i];
+        const double* xr = xv + static_cast<std::size_t>(c0) * k;
+        for (index_t c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] +=
+            v * xr[c];
+      }
+      std::copy(acc.begin(), acc.end(),
+                yv + static_cast<std::size_t>(i) * k);
+    }
+  }
+}
+
+void spmm_hyb(const Hyb& a, std::span<const double> x, std::span<double> y,
+              index_t k) {
+  spmm_ell(a.ell, x, y, k);  // writes y
+  if (a.coo.nnz() == 0) return;
+  // Accumulate overflow on top of the ELL result (serial, like SpMV).
+  const index_t* rp = a.coo.row.data();
+  const index_t* cp = a.coo.col.data();
+  const double* vp = a.coo.val.data();
+  const double* xv = x.data();
+  double* yv = y.data();
+  const std::int64_t nnz = a.coo.nnz();
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    const double v = vp[i];
+    const double* xr = xv + static_cast<std::size_t>(cp[i]) * k;
+    double* yr = yv + static_cast<std::size_t>(rp[i]) * k;
+    for (index_t c = 0; c < k; ++c) yr[c] += v * xr[c];
+  }
+}
+
+void spmm_bsr(const Bsr& a, std::span<const double> x, std::span<double> y,
+              index_t k) {
+  check_shapes(a.rows, a.cols, x, y, k);
+  const double* xv = x.data();
+  double* yv = y.data();
+  static constexpr double kZeroRow[1] = {0.0};  // never read beyond [0]
+  (void)kZeroRow;
+#pragma omp parallel
+  {
+    std::vector<double> acc(static_cast<std::size_t>(kBsrBlock) * k);
+    std::vector<double> xpad(static_cast<std::size_t>(k), 0.0);
+#pragma omp for schedule(dynamic, 16)
+    for (index_t br = 0; br < a.brows; ++br) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::int64_t b = a.ptr[br]; b < a.ptr[br + 1]; ++b) {
+        const index_t c0 = a.idx[b] * kBsrBlock;
+        const double* blk = a.data.data() + b * kBsrBlock * kBsrBlock;
+        // Same (block, i, j) accumulation order as spmv_bsr; columns past
+        // the logical padding read a zero row, like xl[j] = 0 there.
+        const double* xrows[kBsrBlock];
+        for (index_t j = 0; j < kBsrBlock; ++j)
+          xrows[j] = (c0 + j < a.cols)
+                         ? xv + static_cast<std::size_t>(c0 + j) * k
+                         : xpad.data();
+        for (index_t i = 0; i < kBsrBlock; ++i)
+          for (index_t j = 0; j < kBsrBlock; ++j) {
+            const double v = blk[i * kBsrBlock + j];
+            double* ar = acc.data() + static_cast<std::size_t>(i) * k;
+            const double* xr = xrows[j];
+            for (index_t c = 0; c < k; ++c) ar[c] += v * xr[c];
+          }
+      }
+      const index_t r0 = br * kBsrBlock;
+      for (index_t i = 0; i < kBsrBlock && r0 + i < a.rows; ++i)
+        std::copy(acc.data() + static_cast<std::size_t>(i) * k,
+                  acc.data() + static_cast<std::size_t>(i + 1) * k,
+                  yv + static_cast<std::size_t>(r0 + i) * k);
+    }
+  }
+}
+
+void spmm_csr5(const Csr5& a, std::span<const double> x, std::span<double> y,
+               index_t k) {
+  check_shapes(a.rows, a.cols, x, y, k);
+  std::fill(y.begin(), y.end(), 0.0);
+  const std::int64_t ntiles = a.num_tiles();
+  const std::int64_t nnz = a.nnz();
+  const double* xv = x.data();
+  const index_t* idx = a.idx.data();
+  const double* val = a.val.data();
+  const std::int64_t* ptr = a.ptr.data();
+  double* yv = y.data();
+
+#pragma omp parallel
+  {
+    std::vector<double> acc(static_cast<std::size_t>(k));
+#pragma omp for schedule(static)
+    for (std::int64_t t = 0; t < ntiles; ++t) {
+      const std::int64_t lo = t * a.tile;
+      const std::int64_t hi = std::min(nnz, lo + a.tile);
+      index_t r = a.tile_row[static_cast<std::size_t>(t)];
+      std::int64_t j = lo;
+      while (j < hi) {
+        const std::int64_t row_end = std::min(hi, ptr[r + 1]);
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (; j < row_end; ++j) {
+          const double v = val[j];
+          const double* xr = xv + static_cast<std::size_t>(idx[j]) * k;
+          for (index_t c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] +=
+              v * xr[c];
+        }
+        const bool row_complete_here =
+            (lo <= ptr[r] && row_end == ptr[r + 1]);
+        double* yr = yv + static_cast<std::size_t>(r) * k;
+        if (row_complete_here) {
+          std::copy(acc.begin(), acc.end(), yr);  // tile owns the row
+        } else {
+          // Partial row shared with a neighbouring tile. (When the row is
+          // not complete here it necessarily straddles the tile boundary,
+          // so the SpMV kernel's acc != 0 shortcut never fires — the
+          // atomic add is unconditional there too.)
+          for (index_t c = 0; c < k; ++c) {
+#pragma omp atomic
+            yr[c] += acc[static_cast<std::size_t>(c)];
+          }
+        }
+        ++r;
+      }
+    }
+  }
+}
+
+void AnyFormatMatrix::spmm(std::span<const double> x, std::span<double> y,
+                           index_t k) const {
+  obs::Span span(spmm_span_name(format_), &spmm_hist(format_));
+  std::visit(
+      [&](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Coo>) spmm_coo(s, x, y, k);
+        else if constexpr (std::is_same_v<T, Csr>) spmm_csr(s, x, y, k);
+        else if constexpr (std::is_same_v<T, Dia>) spmm_dia(s, x, y, k);
+        else if constexpr (std::is_same_v<T, Ell>) spmm_ell(s, x, y, k);
+        else if constexpr (std::is_same_v<T, Hyb>) spmm_hyb(s, x, y, k);
+        else if constexpr (std::is_same_v<T, Bsr>) spmm_bsr(s, x, y, k);
+        else spmm_csr5(s, x, y, k);
+      },
+      storage_);
+}
+
+}  // namespace dnnspmv

@@ -1,0 +1,45 @@
+// Format-specific SpMM kernels: Y[M×K] = A · X, with X (cols×K) and
+// Y (rows×K) dense and row-major (the GNN/DNN serving layout — each
+// sparse row gathers contiguous K-wide panels of X).
+//
+// Every kernel mirrors its SpMV sibling's traversal and accumulation
+// order exactly, so at K = 1 the result is bitwise identical to the
+// corresponding spmv_* call — the property test_spmm pins down. The
+// OpenMP decomposition is the same as SpMV's too (rows for CSR/ELL/DIA/
+// BSR, nnz chunks for COO, tiles for CSR5), which keeps the relative
+// format ranking comparable across the two ops while the K-fold reuse of
+// index traffic shifts the crossover points (what makes op-aware
+// selection worth a second label set).
+#pragma once
+
+#include <span>
+
+#include "sparse/bsr.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr5.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/hyb.hpp"
+
+namespace dnnspmv {
+
+/// Dense reference Y = A·X without the format machinery (test oracle).
+void spmm_reference(const Csr& a, std::span<const double> x,
+                    std::span<double> y, index_t k);
+
+void spmm_csr(const Csr& a, std::span<const double> x, std::span<double> y,
+              index_t k);
+void spmm_coo(const Coo& a, std::span<const double> x, std::span<double> y,
+              index_t k);
+void spmm_dia(const Dia& a, std::span<const double> x, std::span<double> y,
+              index_t k);
+void spmm_ell(const Ell& a, std::span<const double> x, std::span<double> y,
+              index_t k);
+void spmm_hyb(const Hyb& a, std::span<const double> x, std::span<double> y,
+              index_t k);
+void spmm_bsr(const Bsr& a, std::span<const double> x, std::span<double> y,
+              index_t k);
+void spmm_csr5(const Csr5& a, std::span<const double> x, std::span<double> y,
+               index_t k);
+
+}  // namespace dnnspmv

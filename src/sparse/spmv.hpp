@@ -33,6 +33,10 @@ class AnyFormatMatrix {
   /// y = A*x with the format's kernel.
   void spmv(std::span<const double> x, std::span<double> y) const;
 
+  /// Y[rows×k] = A·X[cols×k] (row-major panels) with the format's SpMM
+  /// kernel. At k = 1 this is bitwise identical to spmv().
+  void spmm(std::span<const double> x, std::span<double> y, index_t k) const;
+
   /// Back-conversion (for round-trip testing).
   Csr to_csr() const;
 

@@ -487,11 +487,12 @@ TEST(QuantSerialize, LegacyPreHeaderFilesStillLoad) {
                  std::istreambuf_iterator<char>());
   }
   // A pre-versioning file has no 16-byte header (magic + format version +
-  // model version) and no quantize flag. The flag sits after the 4-byte
-  // mode, three 8-byte rep fields and the 4-byte late flag: bytes [48, 52).
-  ASSERT_GT(bytes.size(), 52u);
+  // model version), no quantize flag, and no SpMM-head fields. Those sit
+  // after the 4-byte mode, three 8-byte rep fields and the 4-byte late
+  // flag: quantize at [48, 52), has_spmm + spmm_cols at [52, 60).
+  ASSERT_GT(bytes.size(), 60u);
   const std::string legacy =
-      bytes.substr(16, 48 - 16) + bytes.substr(52);
+      bytes.substr(16, 48 - 16) + bytes.substr(60);
   {
     std::ofstream os(path, std::ios::binary);
     os.write(legacy.data(), static_cast<std::streamsize>(legacy.size()));
